@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Most figures derive from the same full TPC-H suite (every algorithm on every
+table at scale factor 10, brute force exact where feasible), so it is run once
+per benchmark session and reused.  Individual benches time their own
+experiment driver with ``benchmark.pedantic(rounds=1)`` — these are
+reproduction experiments, not micro-benchmarks, so a single measured run is
+the meaningful unit — and print the regenerated table/figure rows so the
+numbers can be compared with the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import run_suite
+from repro.workload import tpch
+
+#: The paper's scale factor.
+SCALE_FACTOR = 10.0
+
+
+@pytest.fixture(scope="session")
+def tpch_workloads_sf10():
+    """Per-table TPC-H workloads at the paper's scale factor."""
+    return tpch.tpch_workloads(scale_factor=SCALE_FACTOR)
+
+
+@pytest.fixture(scope="session")
+def tpch_suite(tpch_workloads_sf10):
+    """Every algorithm run on every TPC-H table (shared across benches)."""
+    return run_suite(tpch_workloads_sf10)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

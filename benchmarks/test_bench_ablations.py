@@ -1,0 +1,127 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* HillClimb with vs without the precomputed column-group cost dictionary (the
+  paper's "improved version" drops the dictionary).
+* Trojan's interestingness threshold sweep.
+* HYRISE's K (maximum primary partitions per subgraph) sweep.
+* The HDD cost model's buffer-sharing policy (proportional vs equal split).
+"""
+
+import pytest
+
+from repro.core.algorithm import get_algorithm
+from repro.core.partitioning import column_partitioning
+from repro.cost.hdd import HDDCostModel
+from repro.experiments.report import format_table
+from repro.workload import tpch
+
+from benchmarks.conftest import SCALE_FACTOR, run_once
+
+
+def test_bench_ablation_hillclimb_cost_dictionary(benchmark):
+    """The dictionary-free HillClimb finds the same layout; the dictionary only
+    changes the bookkeeping cost (the reason the paper dropped it)."""
+    workload = tpch.tpch_workload("customer", scale_factor=SCALE_FACTOR)
+    model = HDDCostModel()
+
+    def run_both():
+        plain = get_algorithm("hillclimb", use_cost_dictionary=False).run(workload, model)
+        dictionary = get_algorithm("hillclimb", use_cost_dictionary=True).run(workload, model)
+        return plain, dictionary
+
+    plain, dictionary = run_once(benchmark, run_both)
+    rows = [
+        {"variant": "no dictionary", "cost_s": plain.estimated_cost,
+         "optimization_s": plain.optimization_time},
+        {"variant": "with dictionary", "cost_s": dictionary.estimated_cost,
+         "optimization_s": dictionary.optimization_time},
+    ]
+    print("\n" + format_table(rows, title="Ablation — HillClimb cost dictionary"))
+    assert plain.partitioning == dictionary.partitioning
+
+
+def test_bench_ablation_trojan_threshold(benchmark):
+    """Sweeping Trojan's interestingness threshold trades optimisation effort
+    against layout quality; very high thresholds degenerate to the primary
+    partitions."""
+    workload = tpch.tpch_workload("customer", scale_factor=SCALE_FACTOR)
+    model = HDDCostModel()
+    thresholds = (0.1, 0.4, 0.7, 1.0)
+
+    def sweep():
+        results = []
+        for threshold in thresholds:
+            result = get_algorithm("trojan", interestingness_threshold=threshold).run(
+                workload, model
+            )
+            results.append((threshold, result))
+        return results
+
+    results = run_once(benchmark, sweep)
+    rows = [
+        {"threshold": threshold, "cost_s": result.estimated_cost,
+         "partitions": result.partitioning.partition_count}
+        for threshold, result in results
+    ]
+    print("\n" + format_table(rows, title="Ablation — Trojan interestingness threshold"))
+    partitions = [result.partitioning.partition_count for _, result in results]
+    # Lower thresholds admit more column groups, so the layout never becomes
+    # finer as the threshold drops; at threshold 1.0 only perfectly co-accessed
+    # groups (the primary partitions) survive.
+    assert partitions[0] <= partitions[-1]
+    expected_primary = len(workload.primary_partitions())
+    assert partitions[-1] == expected_primary
+
+
+def test_bench_ablation_hyrise_k(benchmark):
+    """HYRISE's subgraph size K: small K is faster per subgraph but can miss
+    merges across subgraphs; large K recovers the unrestricted merge."""
+    workload = tpch.tpch_workload("lineitem", scale_factor=SCALE_FACTOR)
+    model = HDDCostModel()
+    ks = (2, 4, 8, 16)
+
+    def sweep():
+        results = []
+        for k in ks:
+            result = get_algorithm(
+                "hyrise", max_primary_partitions_per_subgraph=k
+            ).run(workload, model)
+            results.append((k, result))
+        return results
+
+    results = run_once(benchmark, sweep)
+    rows = [
+        {"K": k, "cost_s": result.estimated_cost,
+         "optimization_s": result.optimization_time,
+         "partitions": result.partitioning.partition_count}
+        for k, result in results
+    ]
+    print("\n" + format_table(rows, title="Ablation — HYRISE subgraph size K"))
+    costs = {k: result.estimated_cost for k, result in results}
+    # The largest K is at least as good as the smallest.
+    assert costs[16] <= costs[2] * 1.0001
+
+
+def test_bench_ablation_buffer_sharing_policy(benchmark):
+    """The paper shares the I/O buffer proportionally to partition row sizes;
+    an equal split penalises wide partitions and changes the costs."""
+    workload = tpch.tpch_workload("lineitem", scale_factor=SCALE_FACTOR)
+    proportional = HDDCostModel(buffer_sharing="proportional")
+    equal = HDDCostModel(buffer_sharing="equal")
+    layout = column_partitioning(workload.schema)
+
+    def evaluate():
+        return (
+            proportional.workload_cost(workload, layout),
+            equal.workload_cost(workload, layout),
+        )
+
+    proportional_cost, equal_cost = run_once(benchmark, evaluate)
+    rows = [
+        {"policy": "proportional", "column_layout_cost_s": proportional_cost},
+        {"policy": "equal", "column_layout_cost_s": equal_cost},
+    ]
+    print("\n" + format_table(rows, title="Ablation — buffer sharing policy"))
+    # For the column layout the two policies coincide only if all attribute
+    # widths were equal, which they are not on Lineitem.
+    assert proportional_cost != pytest.approx(equal_cost, rel=1e-6)

@@ -1,0 +1,20 @@
+"""Tables 1 and 2: algorithm classification and native settings."""
+
+from repro.core import classification
+from repro.experiments.report import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_table1_classification(benchmark):
+    """Regenerate Table 1 (classification of the evaluated algorithms)."""
+    rows = run_once(benchmark, classification.classification_table)
+    print("\n" + format_table(rows, title="Table 1 — classification"))
+    assert len(rows) == 7
+
+
+def test_bench_table2_settings(benchmark):
+    """Regenerate Table 2 (native settings of the algorithms + unified setting)."""
+    rows = run_once(benchmark, classification.settings_table)
+    print("\n" + format_table(rows, title="Table 2 — settings"))
+    assert any(row["algorithm"] == "unified" for row in rows)

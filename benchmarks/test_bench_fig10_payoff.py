@@ -1,0 +1,27 @@
+"""Figure 10: pay-off over Row and over Column.
+
+Paper shape: every algorithm pays off over Row after ~25% of one workload
+execution; paying off over Column takes tens to hundreds of executions, and
+Navathe/O2P never pay off over Column.
+"""
+
+from repro.experiments import payoff
+from repro.experiments.report import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig10_payoff(benchmark, tpch_suite):
+    rows = run_once(benchmark, payoff.payoff_over_baselines, suite=tpch_suite)
+    print("\n" + format_table(rows, title="Figure 10 — pay-off (workload executions)"))
+
+    by_name = {row["algorithm"]: row for row in rows}
+    # Paying off over Row needs only a fraction of the workload (creation time
+    # dominates, and the improvement over Row is huge).
+    for name in ("hillclimb", "autopart", "hyrise", "trojan"):
+        assert 0 < by_name[name]["payoff_over_row"] < 5
+    # Over Column the pay-off takes far longer than over Row.
+    assert by_name["hillclimb"]["payoff_over_column"] > by_name["hillclimb"]["payoff_over_row"]
+    # Navathe and O2P never pay off over Column.
+    assert by_name["navathe"]["payoff_over_column"] < 0
+    assert by_name["o2p"]["payoff_over_column"] < 0

@@ -1,0 +1,34 @@
+"""Figure 12: estimated runtimes when re-optimising for each disk parameter.
+
+Paper shape: block size and seek time barely move the runtimes; the runtime is
+inversely proportional to the disk bandwidth; "no interesting regions".
+"""
+
+import pytest
+
+from repro.experiments import sweet_spots
+from repro.experiments.report import format_table
+
+from benchmarks.conftest import SCALE_FACTOR, run_once
+
+
+@pytest.mark.parametrize("parameter", ["block_size", "read_bandwidth", "seek_time"])
+def test_bench_fig12_parameter_sweet_spots(benchmark, parameter):
+    rows = run_once(
+        benchmark,
+        sweet_spots.parameter_sweet_spots,
+        parameter,
+        scale_factor=SCALE_FACTOR,
+        tables=("lineitem", "orders", "partsupp"),
+    )
+    print("\n" + format_table(rows, title=f"Figure 12 — runtimes vs {parameter} (s)"))
+
+    for row in rows:
+        # Row stays the worst layout and the query-optimal PMV the best,
+        # regardless of the parameter value.
+        assert row["row"] >= row["hillclimb"]
+        assert row["query_optimal"] <= row["column"] * 1.05
+
+    if parameter == "read_bandwidth":
+        # Higher bandwidth means lower runtimes.
+        assert rows[0]["hillclimb"] > rows[-1]["hillclimb"]

@@ -1,0 +1,39 @@
+"""Figure 14: the computed partitions for the TPC-H workload.
+
+Paper shape: two classes of layouts — the "HillClimb class" (AutoPart,
+HillClimb, HYRISE, Trojan, BruteForce, identical or nearly identical layouts)
+and the Navathe/O2P class whose order-constrained layouts differ visibly.
+"""
+
+from repro.experiments import layouts
+from repro.experiments.report import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig14_computed_layouts(benchmark, tpch_suite):
+    rows = run_once(benchmark, layouts.computed_layouts, suite=tpch_suite)
+    compact = [
+        {
+            "table": row["table"],
+            "algorithm": row["algorithm"],
+            "groups": " | ".join(",".join(group) for group in row["groups"]),
+        }
+        for row in rows
+    ]
+    print("\n" + format_table(compact, title="Figure 14 — computed layouts"))
+
+    classes = layouts.layout_classes(suite=tpch_suite)
+    # On PartSupp the HillClimb class shares one layout.
+    partsupp_classes = classes["partsupp"]
+    hillclimb_class = next(
+        members for members in partsupp_classes.values() if "hillclimb" in members
+    )
+    for name in ("autopart", "hyrise"):
+        assert name in hillclimb_class
+    # AutoPart and HillClimb have the same estimated cost on every table
+    # (they may differ only in how they group unreferenced attributes).
+    for table in tpch_suite.tables:
+        assert tpch_suite.run("autopart", table).estimated_cost == (
+            tpch_suite.run("hillclimb", table).estimated_cost
+        )

@@ -1,0 +1,22 @@
+"""Figure 2: optimisation time over varying workload size (first k queries)."""
+
+from repro.experiments import optimization_time
+from repro.experiments.report import format_table
+
+from benchmarks.conftest import SCALE_FACTOR, run_once
+
+
+def test_bench_fig2_opt_time_vs_workload_size(benchmark):
+    rows = run_once(
+        benchmark,
+        optimization_time.optimization_time_vs_workload_size,
+        max_queries=22,
+        scale_factor=SCALE_FACTOR,
+    )
+    print("\n" + format_table(rows, title="Figure 2 — optimization time vs workload size (s)"))
+
+    assert len(rows) == 22
+    # Optimisation time grows with the workload size for every algorithm
+    # (compare the single-query prefix with the full workload).
+    for algorithm in ("autopart", "hillclimb", "hyrise", "navathe", "o2p"):
+        assert rows[-1][algorithm] >= rows[0][algorithm]

@@ -1,0 +1,24 @@
+"""Figure 4: fraction of unnecessary data read.
+
+Paper shape: Row ~84%, Navathe ~25%, O2P ~21%, HYRISE 0%, the HillClimb class
+under 1%, Column 0%.
+"""
+
+from repro.experiments import quality
+from repro.experiments.report import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig4_unnecessary_data_read(benchmark, tpch_suite):
+    rows = run_once(benchmark, quality.unnecessary_data_read, suite=tpch_suite)
+    print("\n" + format_table(rows, title="Figure 4 — unnecessary data read (fraction)"))
+
+    fractions = {row["algorithm"]: row["unnecessary_data_fraction"] for row in rows}
+    assert fractions["row"] > 0.5
+    assert fractions["column"] == 0.0
+    assert fractions["hillclimb"] < 0.1
+    assert fractions["autopart"] < 0.1
+    # Navathe and O2P read substantially more unnecessary data.
+    assert fractions["navathe"] > fractions["hillclimb"]
+    assert fractions["o2p"] > fractions["hillclimb"]

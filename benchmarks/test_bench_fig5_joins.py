@@ -1,0 +1,22 @@
+"""Figure 5: average tuple-reconstruction joins per tuple.
+
+Paper shape: Row 0, Column highest (~2.5), all vertically partitioned layouts
+perform at least ~72% of Column's joins.
+"""
+
+from repro.experiments import quality
+from repro.experiments.report import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig5_tuple_reconstruction_joins(benchmark, tpch_suite):
+    rows = run_once(benchmark, quality.tuple_reconstruction_joins, suite=tpch_suite)
+    print("\n" + format_table(rows, title="Figure 5 — avg tuple reconstruction joins"))
+
+    joins = {row["algorithm"]: row["avg_reconstruction_joins"] for row in rows}
+    assert joins["row"] == 0.0
+    assert joins["column"] == max(joins.values())
+    # The partitioned layouts still perform a large share of Column's joins.
+    for name in ("hillclimb", "autopart", "hyrise", "trojan"):
+        assert joins[name] >= 0.5 * joins["column"]

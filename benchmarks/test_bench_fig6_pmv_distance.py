@@ -1,0 +1,23 @@
+"""Figure 6: distance from perfect materialised views.
+
+Paper shape: Row ~517%, Navathe ~49%, O2P ~56%, HillClimb/AutoPart ~18%,
+Column ~23%.
+"""
+
+from repro.experiments import quality
+from repro.experiments.report import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig6_distance_from_pmv(benchmark, tpch_suite):
+    rows = run_once(benchmark, quality.distance_from_pmv, suite=tpch_suite)
+    print("\n" + format_table(rows, title="Figure 6 — distance from PMV (fraction)"))
+
+    distances = {row["algorithm"]: row["distance_from_pmv"] for row in rows}
+    # Every legal layout is at least as expensive as the PMV reference.
+    assert all(value >= 0.0 for value in distances.values())
+    # Row is by far the farthest; HillClimb is closer to PMV than Navathe/O2P.
+    assert distances["row"] == max(distances.values())
+    assert distances["hillclimb"] < distances["navathe"]
+    assert distances["hillclimb"] < distances["o2p"]

@@ -1,0 +1,66 @@
+"""Figure 7 and Tables 3/4: re-optimising for the first k queries (Lineitem).
+
+Paper shape: HillClimb starts ~24% better than Column and decays to ~6.5%;
+Navathe is positive only for the first few queries and then goes (and stays)
+negative.  Table 3: Navathe's unnecessary reads jump above 30% from k=4 while
+HillClimb stays at 0%.  Table 4: HillClimb's reconstruction joins grow with k
+while staying below Column's.
+"""
+
+from repro.experiments import workload_scaling
+from repro.experiments.report import format_table
+
+from benchmarks.conftest import SCALE_FACTOR, run_once
+
+
+def test_bench_fig7_improvement_over_column_vs_k(benchmark):
+    rows = run_once(
+        benchmark,
+        workload_scaling.improvement_over_column_vs_k,
+        max_queries=22,
+        scale_factor=SCALE_FACTOR,
+    )
+    print("\n" + format_table(rows, title="Figure 7 — improvement over Column vs k (fraction)"))
+
+    assert len(rows) == 22
+    # With a single query HillClimb's layout is query-optimal: clear improvement.
+    assert rows[0]["hillclimb"] > 0.05
+    # The improvement shrinks as the workload grows.
+    assert rows[-1]["hillclimb"] < rows[0]["hillclimb"]
+    # HillClimb never falls below Column; Navathe eventually does.
+    assert all(row["hillclimb"] >= -1e-9 for row in rows)
+    assert any(row["navathe"] < 0 for row in rows)
+
+
+def test_bench_table3_unnecessary_reads_vs_k(benchmark):
+    rows = run_once(
+        benchmark,
+        workload_scaling.unnecessary_reads_vs_k,
+        max_queries=6,
+        scale_factor=SCALE_FACTOR,
+    )
+    print("\n" + format_table(rows, title="Table 3 — unnecessary reads on Lineitem (fraction)"))
+
+    # HillClimb reads (almost) no unnecessary data for these small workloads
+    # (the paper reports exactly 0%; our cost model trades a few percent of
+    # extra reads for fewer seeks at k=6).
+    assert all(row["hillclimb"] < 0.05 for row in rows)
+    # Navathe reads far more unnecessary data than HillClimb for every k.
+    # (Deviation from the paper: its Navathe is clean for k <= 3 and jumps to
+    # >30% at k=4; our z-measure Navathe keeps wide groups from the start —
+    # see EXPERIMENTS.md.)
+    assert all(row["navathe"] > row["hillclimb"] + 0.05 for row in rows)
+
+
+def test_bench_table4_reconstruction_joins_vs_k(benchmark):
+    rows = run_once(
+        benchmark,
+        workload_scaling.reconstruction_joins_vs_k,
+        max_queries=6,
+        scale_factor=SCALE_FACTOR,
+    )
+    print("\n" + format_table(rows, title="Table 4 — avg reconstruction joins on Lineitem"))
+
+    # Joins grow with the workload size and stay below Column's.
+    assert rows[0]["hillclimb"] <= rows[-1]["hillclimb"]
+    assert all(row["hillclimb"] <= row["column"] for row in rows)

@@ -1,0 +1,31 @@
+"""Figure 8: fragility with respect to the buffer size.
+
+Paper shape: shrinking the buffer from 8 MB to 0.08 MB inflates the workload
+runtime by factors of 5-24; growing it helps slightly; the effect dwarfs every
+other disk parameter.
+"""
+
+from repro.experiments import fragility
+from repro.experiments.report import format_table
+
+from benchmarks.conftest import SCALE_FACTOR, run_once
+
+
+def test_bench_fig8_buffer_size_fragility(benchmark):
+    rows = run_once(
+        benchmark, fragility.buffer_size_fragility, scale_factor=SCALE_FACTOR
+    )
+    print("\n" + format_table(rows, title="Figure 8 — fragility vs buffer size (factor)"))
+
+    by_buffer = {row["buffer_size_mb"]: row for row in rows}
+    smallest = by_buffer[min(by_buffer)]
+    default = by_buffer[8.0]
+    largest = by_buffer[max(by_buffer)]
+    # The 8 MB row is the baseline: zero change.
+    assert abs(default["hillclimb"]) < 1e-9
+    # Tiny buffers inflate runtimes by at least 2x for every subject.
+    for subject in ("hillclimb", "navathe", "column", "row"):
+        assert smallest[subject] > 1.0
+    # Huge buffers never hurt.
+    for subject in ("hillclimb", "navathe", "column", "row"):
+        assert largest[subject] <= 0.0

@@ -1,0 +1,32 @@
+"""Figure 9: normalised cost vs buffer size when re-optimising per buffer size.
+
+Paper shape: vertical partitioning (and even perfect materialised views) beats
+the column layout only for buffers below ~100 MB; HillClimb is never worse
+than Column; Navathe helps only in a narrow band of small buffers.
+"""
+
+from repro.experiments import sweet_spots
+from repro.experiments.report import format_table
+
+from benchmarks.conftest import SCALE_FACTOR, run_once
+
+
+def test_bench_fig9_buffer_size_sweet_spots(benchmark):
+    rows = run_once(
+        benchmark, sweet_spots.buffer_size_sweet_spots, scale_factor=SCALE_FACTOR
+    )
+    print("\n" + format_table(rows, title="Figure 9 — normalised cost vs buffer size (fraction of Column)"))
+
+    by_buffer = {row["buffer_size_mb"]: row for row in rows}
+    ordered = sorted(by_buffer)
+    small = by_buffer[ordered[1]]   # ~0.1 MB
+    huge = by_buffer[ordered[-1]]   # ~10 GB
+    # For small buffers column grouping clearly beats the column layout.
+    assert small["hillclimb"] < 0.95
+    assert small["pmv"] < small["hillclimb"]
+    # For huge buffers the advantage disappears (within a percent of Column).
+    assert huge["hillclimb"] > 0.98
+    assert huge["pmv"] > 0.9
+    # HillClimb never does worse than Column (it would simply keep the column
+    # layout if nothing better exists).
+    assert all(row["hillclimb"] <= 1.0 + 1e-9 for row in rows)

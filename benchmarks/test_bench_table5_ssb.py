@@ -1,0 +1,42 @@
+"""Table 5: improvement over the column layout on TPC-H versus SSB.
+
+Paper shape: modest single-digit improvements on both benchmarks, slightly
+larger on SSB (less fragmented access patterns), negative for Navathe and O2P
+on TPC-H but positive-but-tiny on SSB.
+"""
+
+from repro.experiments import quality
+from repro.experiments.report import format_percentage, format_table
+
+from benchmarks.conftest import SCALE_FACTOR, run_once
+
+
+def test_bench_table5_improvement_by_benchmark(benchmark):
+    rows = run_once(
+        benchmark,
+        quality.improvement_over_column_by_benchmark,
+        scale_factor=SCALE_FACTOR,
+    )
+    printable = [
+        {
+            "algorithm": row["algorithm"],
+            "TPC-H": format_percentage(row["TPC-H"]),
+            "SSB": format_percentage(row["SSB"]),
+        }
+        for row in rows
+    ]
+    print("\n" + format_table(printable, title="Table 5 — improvement over Column"))
+
+    by_name = {row["algorithm"]: row for row in rows}
+    # The HillClimb class improves over Column on both benchmarks, but never
+    # dramatically (the paper's Lesson 4), and SSB's less fragmented access
+    # patterns allow a slightly larger improvement than TPC-H.
+    for name in ("hillclimb", "autopart"):
+        assert 0.0 <= by_name[name]["TPC-H"] < 0.15
+        assert 0.0 <= by_name[name]["SSB"] < 0.15
+        assert by_name[name]["SSB"] >= by_name[name]["TPC-H"]
+    # Navathe and O2P are worse than Column on TPC-H.  (Deviation from the
+    # paper: our affinity-driven Navathe/O2P are also negative on SSB, where
+    # the paper measured a small positive improvement — see EXPERIMENTS.md.)
+    assert by_name["navathe"]["TPC-H"] < 0.0
+    assert by_name["o2p"]["TPC-H"] < 0.0

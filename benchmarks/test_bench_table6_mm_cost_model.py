@@ -1,0 +1,38 @@
+"""Table 6: improvement over the column layout under HDD vs main-memory models.
+
+Paper shape: the HillClimb class improves a few percent over Column on disk
+but 0.00% in main memory; Navathe and O2P are negative under both models.
+"""
+
+from repro.experiments import quality
+from repro.experiments.report import format_percentage, format_table
+
+from benchmarks.conftest import SCALE_FACTOR, run_once
+
+
+def test_bench_table6_improvement_by_cost_model(benchmark):
+    rows = run_once(
+        benchmark,
+        quality.improvement_over_column_by_cost_model,
+        scale_factor=SCALE_FACTOR,
+    )
+    printable = [
+        {
+            "algorithm": row["algorithm"],
+            "HDD cost model": format_percentage(row["HDD"]),
+            "MM cost model": format_percentage(row["MM"]),
+        }
+        for row in rows
+    ]
+    print("\n" + format_table(printable, title="Table 6 — improvement over Column"))
+
+    by_name = {row["algorithm"]: row for row in rows}
+    # Disk: the HillClimb class improves a little over Column.
+    assert by_name["hillclimb"]["HDD"] > 0.0
+    # Main memory: the improvement vanishes (at most a rounding error).
+    assert by_name["hillclimb"]["MM"] <= 0.001
+    assert by_name["autopart"]["MM"] <= 0.001
+    # Navathe/O2P are worse than Column under both cost models.
+    assert by_name["navathe"]["HDD"] < 0.0
+    assert by_name["navathe"]["MM"] < 0.0
+    assert by_name["o2p"]["MM"] < 0.0

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Online partitioning: watching O2P adapt as queries arrive.
+
+O2P was designed for the online setting: it does not see the workload up
+front, but updates its affinity clustering and adds (at most) one split per
+incoming query.  This example replays the Lineitem workload query by query and
+prints the layout O2P has committed to after each step, together with the cost
+it would achieve on the queries seen so far, compared against the offline
+HillClimb layout computed with hindsight.
+
+Usage::
+
+    python examples/online_partitioning.py [scale_factor]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.algorithm import get_algorithm
+from repro.cost.hdd import HDDCostModel
+from repro.workload import tpch
+from repro.workload.workload import Workload
+
+
+def main() -> None:
+    scale_factor = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    full_workload = tpch.tpch_workload("lineitem", scale_factor=scale_factor)
+    model = HDDCostModel()
+    names = full_workload.schema.attribute_names
+
+    print(f"Replaying {full_workload.query_count} Lineitem queries through O2P\n")
+    print(f"{'step':>4s} {'query':>6s} {'parts':>6s} {'O2P cost':>12s} {'hindsight':>12s}")
+
+    for step in range(1, full_workload.query_count + 1):
+        seen = Workload(
+            full_workload.schema,
+            list(full_workload.queries[:step]),
+            name=f"lineitem-first-{step}",
+        )
+        o2p_layout = get_algorithm("o2p").compute(seen, model)
+        hindsight = get_algorithm("hillclimb").compute(seen, model)
+        o2p_cost = model.workload_cost(seen, o2p_layout)
+        hindsight_cost = model.workload_cost(seen, hindsight)
+        query_name = full_workload.queries[step - 1].name
+        print(
+            f"{step:>4d} {query_name:>6s} {o2p_layout.partition_count:>6d} "
+            f"{o2p_cost:>12.3f} {hindsight_cost:>12.3f}"
+        )
+
+    print("\nFinal O2P layout:")
+    final = get_algorithm("o2p").compute(full_workload, model)
+    for index, partition in enumerate(final, start=1):
+        group = ", ".join(names[i] for i in partition)
+        print(f"  P{index}: {group}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: recommend a vertical partitioning for one table.
+
+Runs every partitioning algorithm on the TPC-H PartSupp workload (the example
+from the paper's introduction scaled up to the full benchmark queries) and
+prints a comparison report plus the recommended layout.
+
+Usage::
+
+    python examples/quickstart.py [table] [scale_factor]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import LayoutAdvisor, tpch
+
+
+def main() -> None:
+    table = sys.argv[1] if len(sys.argv) > 1 else "partsupp"
+    scale_factor = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+
+    workload = tpch.tpch_workload(table, scale_factor=scale_factor)
+    print(workload.describe())
+    print()
+
+    advisor = LayoutAdvisor()
+    report = advisor.recommend(workload)
+    print(report.describe())
+    print()
+
+    best = report.best
+    print(f"Recommended layout (from {best.algorithm}):")
+    print(best.partitioning.describe())
+    print()
+    print(
+        f"Estimated improvement over a row layout:    "
+        f"{best.improvement_over_row * 100:+.2f}%"
+    )
+    print(
+        f"Estimated improvement over a column layout: "
+        f"{best.improvement_over_column * 100:+.2f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Physical design advisor for the full TPC-H benchmark.
+
+This is the paper's main scenario: an analyst has a row-oriented database,
+TPC-H-like analytical queries, and wants to know (a) which vertical
+partitioning algorithm to trust and (b) whether partitioning is worth it at
+all compared to a plain column layout.
+
+The script partitions every TPC-H table with every algorithm, prints the
+per-algorithm totals (Figure 3), the fraction of unnecessary data read
+(Figure 4) and when the investment pays off over the row layout (Figure 10).
+
+Usage::
+
+    python examples/tpch_advisor.py [scale_factor]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import optimization_time, payoff, quality
+from repro.experiments.report import format_percentage, format_table
+from repro.experiments.runner import run_suite
+from repro.workload import tpch
+
+
+def main() -> None:
+    scale_factor = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    print(f"Running the full advisor on TPC-H at scale factor {scale_factor:g} ...")
+
+    workloads = tpch.tpch_workloads(scale_factor=scale_factor)
+    suite = run_suite(workloads)
+
+    print()
+    print(format_table(
+        optimization_time.optimization_times(suite=suite),
+        title="How fast?  (total optimisation time, seconds)",
+    ))
+    print()
+    print(format_table(
+        quality.estimated_workload_runtimes(suite=suite),
+        title="How good?  (estimated workload runtime, seconds)",
+    ))
+    print()
+    print(format_table(
+        quality.unnecessary_data_read(suite=suite),
+        title="Unnecessary data read (fraction of bytes read)",
+    ))
+    print()
+    print(format_table(
+        payoff.payoff_over_baselines(suite=suite),
+        title="Pay-off (workload executions until the investment is recovered)",
+    ))
+
+    column_total = suite.total_cost("column")
+    best_name = min(
+        (name for name in suite.algorithms if name not in ("row", "column")),
+        key=suite.total_cost,
+    )
+    best_total = suite.total_cost(best_name)
+    print()
+    print(
+        f"Best algorithm: {best_name} "
+        f"({format_percentage((column_total - best_total) / column_total)} over Column)"
+    )
+    for table in suite.tables:
+        print()
+        print(suite.layout(best_name, table).describe())
+
+
+if __name__ == "__main__":
+    main()

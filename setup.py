@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The environment's setuptools lacks the ``wheel`` package needed for PEP 660
+editable wheels, so this shim keeps the legacy ``pip install -e .`` path
+working.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

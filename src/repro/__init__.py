@@ -1,0 +1,74 @@
+"""repro — a vertical partitioning advisor library.
+
+This package reproduces *"A Comparison of Knives for Bread Slicing"*
+(Jindal, Palatinus, Pavlov, Dittrich — PVLDB 6(6), 2013): an experimental
+comparison of vertical partitioning algorithms for row-oriented database
+systems under a unified setting.
+
+Quickstart
+----------
+
+>>> from repro import LayoutAdvisor, tpch
+>>> workload = tpch.tpch_workload("partsupp", scale_factor=1)
+>>> advisor = LayoutAdvisor()
+>>> report = advisor.recommend(workload)
+>>> print(report.best.partitioning.describe())
+
+The public surface re-exported here:
+
+* workload model — :class:`Column`, :class:`TableSchema`, :class:`Query`,
+  :class:`Workload`, plus the :mod:`~repro.workload.tpch`,
+  :mod:`~repro.workload.ssb` and :mod:`~repro.workload.synthetic` generators;
+* cost models — :class:`DiskCharacteristics`, :class:`HDDCostModel`,
+  :class:`MainMemoryCostModel`;
+* core API — :class:`Partition`, :class:`Partitioning`,
+  :class:`LayoutAdvisor`, :func:`get_algorithm`,
+  :func:`available_algorithms`;
+* metrics — :mod:`repro.metrics`;
+* experiment drivers for every table and figure — :mod:`repro.experiments`.
+"""
+
+from repro.workload import Column, Query, TableSchema, Workload
+from repro.workload import tpch, ssb, synthetic
+from repro.cost import (
+    DEFAULT_DISK,
+    DiskCharacteristics,
+    HDDCostModel,
+    MainMemoryCostModel,
+)
+from repro.core import (
+    LayoutAdvisor,
+    Partition,
+    Partitioning,
+    available_algorithms,
+    column_partitioning,
+    get_algorithm,
+    row_partitioning,
+)
+from repro import algorithms, metrics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Column",
+    "TableSchema",
+    "Query",
+    "Workload",
+    "tpch",
+    "ssb",
+    "synthetic",
+    "DiskCharacteristics",
+    "DEFAULT_DISK",
+    "HDDCostModel",
+    "MainMemoryCostModel",
+    "Partition",
+    "Partitioning",
+    "row_partitioning",
+    "column_partitioning",
+    "LayoutAdvisor",
+    "get_algorithm",
+    "available_algorithms",
+    "algorithms",
+    "metrics",
+    "__version__",
+]

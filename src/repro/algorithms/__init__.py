@@ -1,0 +1,51 @@
+"""The evaluated vertical partitioning algorithms.
+
+Importing this package registers every algorithm with the registry in
+:mod:`repro.core.algorithm`, so ``get_algorithm("hillclimb")`` works after a
+plain ``import repro``.
+
+Algorithms (Section 3 of the paper):
+
+=============  ==============================================================
+``brute-force``  Exhaustive enumeration of all set partitions (optimal).
+``navathe``      Affinity matrix + Bond Energy clustering + recursive splits.
+``hillclimb``    Bottom-up pairwise merging from a column layout.
+``autopart``     Atomic fragments extended by pairwise combination.
+``hyrise``       Primary partitions, k-way affinity-graph partitioning,
+                 candidate merging per subgraph, cross-subgraph merges.
+``o2p``          Online top-down: one greedy split per step with memoised
+                 split costs.
+``trojan``       Interestingness-pruned column-group enumeration + knapsack
+                 style merging per query group.
+``row``          Baseline: a single partition (no vertical partitioning).
+``column``       Baseline: one partition per attribute (full partitioning).
+=============  ==============================================================
+"""
+
+from repro.algorithms.baselines import (
+    ColumnLayoutAlgorithm,
+    PerfectMaterializedViews,
+    RowLayoutAlgorithm,
+)
+from repro.algorithms.brute_force import BruteForceAlgorithm
+from repro.algorithms.navathe import NavatheAlgorithm
+from repro.algorithms.hillclimb import HillClimbAlgorithm
+from repro.algorithms.autopart import AutoPartAlgorithm
+from repro.algorithms.hyrise import HyriseAlgorithm
+from repro.algorithms.o2p import O2PAlgorithm
+from repro.algorithms.trojan import TrojanAlgorithm
+from repro.algorithms import support
+
+__all__ = [
+    "BruteForceAlgorithm",
+    "NavatheAlgorithm",
+    "HillClimbAlgorithm",
+    "AutoPartAlgorithm",
+    "HyriseAlgorithm",
+    "O2PAlgorithm",
+    "TrojanAlgorithm",
+    "RowLayoutAlgorithm",
+    "ColumnLayoutAlgorithm",
+    "PerfectMaterializedViews",
+    "support",
+]

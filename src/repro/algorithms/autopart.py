@@ -1,0 +1,99 @@
+"""AutoPart (Papadomanolakis & Ailamaki, SSDBM 2004).
+
+AutoPart is a bottom-up algorithm originally designed for large scientific
+datasets.  Its starting point is the set of *atomic fragments* (the paper's
+primary partitions): maximal groups of attributes that are always accessed
+together, i.e. no query references a strict subset of the group.  In each
+iteration the current fragments are extended by combining them pairwise —
+either with an atomic fragment or with a fragment from the previous iteration
+— and the combination with the best improvement in estimated workload cost is
+kept.  The process repeats until no combination improves the cost.
+
+The original algorithm also creates *overlapping* fragments (partial attribute
+replication).  The paper's unified setting forbids replication, so — exactly
+as the authors did — combinations here are disjoint merges, which makes
+AutoPart behave like HillClimb seeded with atomic fragments instead of single
+columns.  On TPC-H both find the brute-force-optimal layouts.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.core.algorithm import PartitioningAlgorithm, register_algorithm
+from repro.core.partitioning import Partition, Partitioning
+from repro.cost.base import CostModel
+from repro.workload.workload import Workload
+
+
+@register_algorithm("autopart")
+class AutoPartAlgorithm(PartitioningAlgorithm):
+    """Bottom-up merging of atomic fragments."""
+
+    name = "autopart"
+    search_strategy = "bottom-up"
+    starting_point = "whole-workload"
+    candidate_pruning = "none"
+
+    def __init__(self) -> None:
+        self._metadata: Dict[str, object] = {}
+
+    def compute(self, workload: Workload, cost_model: CostModel) -> Partitioning:
+        """Merge atomic fragments pairwise while the estimated cost improves."""
+        schema = workload.schema
+        atomic_fragments = workload.primary_partitions()
+        fragments: List[FrozenSet[int]] = list(atomic_fragments)
+        current_cost = self._cost_of(fragments, workload, cost_model)
+        iterations = 0
+        merges = 0
+
+        while len(fragments) > 1:
+            iterations += 1
+            best_pair: Tuple[FrozenSet[int], FrozenSet[int]] = None  # type: ignore[assignment]
+            best_cost = current_cost
+            # Candidate extensions: any current fragment combined with an atomic
+            # fragment or with another current fragment.  Without replication
+            # both cases reduce to merging two of the current disjoint
+            # fragments, so the pairwise scan below covers the candidate set.
+            for fragment_a, fragment_b in combinations(fragments, 2):
+                candidate = self._merge(fragments, fragment_a, fragment_b)
+                candidate_cost = self._cost_of(candidate, workload, cost_model)
+                if candidate_cost < best_cost:
+                    best_cost = candidate_cost
+                    best_pair = (fragment_a, fragment_b)
+            if best_pair is None:
+                break
+            fragments = self._merge(fragments, best_pair[0], best_pair[1])
+            current_cost = best_cost
+            merges += 1
+
+        self._metadata = {
+            "atomic_fragments": [sorted(fragment) for fragment in atomic_fragments],
+            "iterations": iterations,
+            "merges": merges,
+            "final_cost": current_cost,
+        }
+        return Partitioning(schema, [Partition(fragment) for fragment in fragments])
+
+    @staticmethod
+    def _merge(
+        fragments: List[FrozenSet[int]], a: FrozenSet[int], b: FrozenSet[int]
+    ) -> List[FrozenSet[int]]:
+        merged = [fragment for fragment in fragments if fragment is not a and fragment is not b]
+        merged.append(a | b)
+        return merged
+
+    @staticmethod
+    def _cost_of(
+        fragments: List[FrozenSet[int]], workload: Workload, cost_model: CostModel
+    ) -> float:
+        partitioning = Partitioning(
+            workload.schema,
+            [Partition(fragment) for fragment in fragments],
+            validate=False,
+        )
+        return cost_model.workload_cost(workload, partitioning)
+
+    def last_run_metadata(self) -> Dict[str, object]:
+        return dict(self._metadata)

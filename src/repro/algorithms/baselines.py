@@ -1,0 +1,98 @@
+"""Baseline layouts: row, column, and perfect materialised views.
+
+The paper compares every vertical partitioning algorithm against the two
+degenerate layouts — Row (a single partition, i.e. no vertical partitioning)
+and Column (one partition per attribute, i.e. full vertical partitioning) —
+and, for the "how good" metric, against *perfect materialised views* (PMV):
+one projection per query containing exactly the attributes that query needs.
+PMV is not a legal partitioning (projections overlap), so it is exposed as a
+cost reference rather than as a :class:`Partitioning`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.algorithm import PartitioningAlgorithm, register_algorithm
+from repro.core.partitioning import (
+    Partition,
+    Partitioning,
+    column_partitioning,
+    row_partitioning,
+)
+from repro.cost.base import CostModel
+from repro.workload.query import ResolvedQuery
+from repro.workload.workload import Workload
+
+
+@register_algorithm("row")
+class RowLayoutAlgorithm(PartitioningAlgorithm):
+    """Baseline: keep all attributes in a single partition (no partitioning)."""
+
+    name = "row"
+    search_strategy = "baseline"
+
+    def compute(self, workload: Workload, cost_model: CostModel) -> Partitioning:
+        """Return the row layout regardless of workload and cost model."""
+        return row_partitioning(workload.schema)
+
+
+@register_algorithm("column")
+class ColumnLayoutAlgorithm(PartitioningAlgorithm):
+    """Baseline: one partition per attribute (full vertical partitioning)."""
+
+    name = "column"
+    search_strategy = "baseline"
+
+    def compute(self, workload: Workload, cost_model: CostModel) -> Partitioning:
+        """Return the column layout regardless of workload and cost model."""
+        return column_partitioning(workload.schema)
+
+
+class PerfectMaterializedViews:
+    """Cost reference: one projection per query with exactly its attributes.
+
+    Used by the "distance from PMV" metric (Figure 6) and by the buffer-size
+    sweet-spot experiment (Figure 9).  Because projections of different
+    queries overlap, this is *not* a partitioning; it only knows how to price
+    a workload: each query reads a single dedicated projection whose row size
+    equals the sum of the widths of the query's attributes.
+    """
+
+    name = "pmv"
+
+    def workload_cost(self, workload: Workload, cost_model: CostModel) -> float:
+        """Sum over queries of the cost of scanning that query's private projection."""
+        total = 0.0
+        for query in workload:
+            total += query.weight * self.query_cost(query, workload, cost_model)
+        return total
+
+    def query_cost(
+        self, query: ResolvedQuery, workload: Workload, cost_model: CostModel
+    ) -> float:
+        """Cost of one query against its perfect projection."""
+        schema = workload.schema
+        projection = Partition(query.attribute_indices)
+        # Build a helper partitioning containing the projection plus the rest of
+        # the attributes (so the Partitioning is valid), then price only the
+        # projection: the query reads nothing else.
+        rest = [
+            index
+            for index in range(schema.attribute_count)
+            if index not in projection.attributes
+        ]
+        partitions: List[Partition] = [projection]
+        if rest:
+            partitions.append(Partition(rest))
+        helper = Partitioning(schema, partitions)
+        return cost_model.partition_read_cost(projection, [projection], helper)
+
+    def per_query_costs(
+        self, workload: Workload, cost_model: CostModel
+    ) -> Dict[str, float]:
+        """Unweighted per-query PMV costs keyed by query name."""
+        return {
+            query.name: self.query_cost(query, workload, cost_model)
+            for query in workload
+        }

@@ -1,0 +1,108 @@
+"""Brute force: exhaustive enumeration of every possible vertical partitioning.
+
+The number of candidate layouts for an ``n``-attribute table is the Bell
+number ``B_n`` — 4140 for the 8-attribute TPC-H customer table (the number
+quoted in the paper) and over 10 billion for the 16-attribute Lineitem table.
+Brute force evaluates the workload cost of each candidate and keeps
+the cheapest; it is the optimality reference the paper measures every
+heuristic against (Figure 3, "BruteForce").
+
+Primary-partition reduction
+---------------------------
+
+By default the enumeration runs over the workload's *primary partitions*
+(maximal attribute groups referenced by exactly the same queries) instead of
+over raw attributes.  Splitting a primary partition is never useful at the
+level of logical bytes: every query that reads one of its attributes reads all
+of them, so a split only adds partitions to co-read (more seeks) while the
+scanned bytes stay identical.  Collapsing them shrinks the search space
+considerably (Lineitem: 16 attributes -> 13 primary partitions) and finds the
+optimal layout up to block-rounding effects — a split group can occasionally
+pack disk blocks or the shared I/O buffer marginally better, so the collapsed
+search is an extremely tight approximation rather than a strict optimum.  Set
+``collapse_primary_partitions=False`` for the exact enumeration over raw
+attributes (the property-based tests use that mode as the true lower bound).
+
+Because the search space still explodes, the implementation refuses inputs
+whose enumeration units exceed ``max_attributes`` (default 12, i.e. about 4.2
+million candidates) unless the caller explicitly raises the limit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from repro.algorithms.support.enumeration import bell_number, set_partitions
+from repro.core.algorithm import PartitioningAlgorithm, register_algorithm
+from repro.core.partitioning import Partition, Partitioning
+from repro.cost.base import CostModel
+from repro.workload.workload import Workload
+
+
+class BruteForceSearchSpaceError(ValueError):
+    """Raised when the table is too wide for exhaustive enumeration."""
+
+
+@register_algorithm("brute-force")
+class BruteForceAlgorithm(PartitioningAlgorithm):
+    """Optimal (and exponentially slow) vertical partitioning by enumeration."""
+
+    name = "brute-force"
+    search_strategy = "brute-force"
+    starting_point = "whole-workload"
+    candidate_pruning = "none"
+
+    def __init__(
+        self,
+        max_attributes: int = 12,
+        collapse_primary_partitions: bool = True,
+    ) -> None:
+        if max_attributes < 1:
+            raise ValueError("max_attributes must be >= 1")
+        self.max_attributes = max_attributes
+        self.collapse_primary_partitions = collapse_primary_partitions
+        self._metadata: Dict[str, object] = {}
+
+    def compute(self, workload: Workload, cost_model: CostModel) -> Partitioning:
+        """Evaluate every set partition of the enumeration units; return the cheapest."""
+        schema = workload.schema
+        if self.collapse_primary_partitions:
+            units: List[FrozenSet[int]] = workload.primary_partitions()
+        else:
+            units = [frozenset([index]) for index in range(schema.attribute_count)]
+
+        if len(units) > self.max_attributes:
+            raise BruteForceSearchSpaceError(
+                f"table {schema.name!r} has {len(units)} enumeration units; brute "
+                f"force would need to evaluate {bell_number(len(units)):,} layouts "
+                f"(limit: {self.max_attributes}). Raise max_attributes explicitly "
+                f"to override."
+            )
+
+        best_partitioning: Optional[Partitioning] = None
+        best_cost = float("inf")
+        evaluated = 0
+        for blocks in set_partitions(range(len(units))):
+            partitions = [
+                Partition(frozenset().union(*(units[index] for index in block)))
+                for block in blocks
+            ]
+            candidate = Partitioning(schema, partitions, validate=False)
+            cost = cost_model.workload_cost(workload, candidate)
+            evaluated += 1
+            if cost < best_cost:
+                best_cost = cost
+                best_partitioning = candidate
+        assert best_partitioning is not None  # at least one unit guarantees a candidate
+        self._metadata = {
+            "candidates_evaluated": evaluated,
+            "enumeration_units": len(units),
+            "bell_number_attributes": bell_number(schema.attribute_count),
+            "bell_number_units": bell_number(len(units)),
+            "collapsed_primary_partitions": self.collapse_primary_partitions,
+            "best_cost": best_cost,
+        }
+        return best_partitioning
+
+    def last_run_metadata(self) -> Dict[str, object]:
+        return dict(self._metadata)

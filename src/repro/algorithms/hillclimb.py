@@ -1,0 +1,112 @@
+"""HillClimb (Hankins & Patel, "Data Morphing", VLDB 2003).
+
+A bottom-up algorithm: start from the column layout (each attribute in its own
+partition) and, in every iteration, merge the *pair* of partitions whose merge
+yields the largest improvement in estimated workload cost.  Each iteration
+reduces the partition count by one; the algorithm stops as soon as no merge
+improves the cost.
+
+The original algorithm precomputes a dictionary with the cost of every
+possible column group.  The paper found that the dictionary grows to gigabytes
+for wide tables and that dropping it makes the algorithm dramatically faster,
+so — like the paper — the *improved*, dictionary-free variant is the default.
+The original dictionary-backed behaviour can be enabled with
+``use_cost_dictionary=True``; the ablation benchmark compares the two.
+
+The paper's headline finding (Lesson 3) is that HillClimb finds the same
+layouts as brute force on TPC-H while spending four orders of magnitude less
+optimisation time.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.core.algorithm import PartitioningAlgorithm, register_algorithm
+from repro.core.partitioning import Partition, Partitioning
+from repro.cost.base import CostModel
+from repro.workload.workload import Workload
+
+
+@register_algorithm("hillclimb")
+class HillClimbAlgorithm(PartitioningAlgorithm):
+    """Bottom-up pairwise merging from a column layout."""
+
+    name = "hillclimb"
+    search_strategy = "bottom-up"
+    starting_point = "whole-workload"
+    candidate_pruning = "none"
+
+    def __init__(self, use_cost_dictionary: bool = False) -> None:
+        self.use_cost_dictionary = use_cost_dictionary
+        self._metadata: Dict[str, object] = {}
+
+    def compute(self, workload: Workload, cost_model: CostModel) -> Partitioning:
+        """Greedily merge partition pairs while the workload cost improves."""
+        schema = workload.schema
+        groups: List[FrozenSet[int]] = [
+            frozenset([index]) for index in range(schema.attribute_count)
+        ]
+        current_cost = self._cost_of(groups, workload, cost_model)
+        iterations = 0
+        merges = 0
+        # Original variant: remember the workload cost of every candidate group
+        # set ever evaluated, keyed by the full layout signature.  This is the
+        # dictionary whose memory footprint the paper criticises; it never
+        # changes the chosen layout, only the bookkeeping cost.
+        dictionary: Dict[FrozenSet[FrozenSet[int]], float] = {}
+
+        while len(groups) > 1:
+            iterations += 1
+            best_pair: Tuple[FrozenSet[int], FrozenSet[int]] = None  # type: ignore[assignment]
+            best_cost = current_cost
+            for a, b in combinations(groups, 2):
+                merged_groups = self._merge(groups, a, b)
+                if self.use_cost_dictionary:
+                    key = frozenset(merged_groups)
+                    if key not in dictionary:
+                        dictionary[key] = self._cost_of(
+                            merged_groups, workload, cost_model
+                        )
+                    candidate_cost = dictionary[key]
+                else:
+                    candidate_cost = self._cost_of(merged_groups, workload, cost_model)
+                if candidate_cost < best_cost:
+                    best_cost = candidate_cost
+                    best_pair = (a, b)
+            if best_pair is None:
+                break
+            groups = self._merge(groups, best_pair[0], best_pair[1])
+            current_cost = best_cost
+            merges += 1
+
+        self._metadata = {
+            "iterations": iterations,
+            "merges": merges,
+            "final_cost": current_cost,
+            "used_cost_dictionary": self.use_cost_dictionary,
+            "dictionary_entries": len(dictionary),
+        }
+        return Partitioning(schema, [Partition(group) for group in groups])
+
+    @staticmethod
+    def _merge(
+        groups: List[FrozenSet[int]], a: FrozenSet[int], b: FrozenSet[int]
+    ) -> List[FrozenSet[int]]:
+        """A new group list with ``a`` and ``b`` replaced by their union."""
+        merged = [group for group in groups if group is not a and group is not b]
+        merged.append(a | b)
+        return merged
+
+    @staticmethod
+    def _cost_of(
+        groups: List[FrozenSet[int]], workload: Workload, cost_model: CostModel
+    ) -> float:
+        partitioning = Partitioning(
+            workload.schema, [Partition(group) for group in groups], validate=False
+        )
+        return cost_model.workload_cost(workload, partitioning)
+
+    def last_run_metadata(self) -> Dict[str, object]:
+        return dict(self._metadata)

@@ -1,0 +1,39 @@
+"""Support algorithms shared by the partitioning algorithms.
+
+* :mod:`repro.algorithms.support.bond_energy` — the Bond Energy Algorithm
+  used by Navathe and O2P to cluster the attribute affinity matrix.
+* :mod:`repro.algorithms.support.enumeration` — set-partition enumeration
+  (restricted growth strings), Bell and Stirling numbers, used by brute force
+  and by the paper's complexity discussion.
+* :mod:`repro.algorithms.support.graph_partition` — a Kernighan–Lin style
+  k-way graph partitioner used by HYRISE.
+* :mod:`repro.algorithms.support.knapsack` — 0/1 knapsack used by Trojan to
+  assemble a complete, disjoint layout from interesting column groups.
+* :mod:`repro.algorithms.support.interestingness` — the mutual-information
+  based column-group interestingness measure used by Trojan.
+"""
+
+from repro.algorithms.support.bond_energy import bond_energy_order, bond_energy_score
+from repro.algorithms.support.enumeration import (
+    bell_number,
+    set_partitions,
+    stirling_second,
+)
+from repro.algorithms.support.graph_partition import kway_partition
+from repro.algorithms.support.knapsack import solve_knapsack
+from repro.algorithms.support.interestingness import (
+    column_group_interestingness,
+    mutual_information,
+)
+
+__all__ = [
+    "bond_energy_order",
+    "bond_energy_score",
+    "bell_number",
+    "stirling_second",
+    "set_partitions",
+    "kway_partition",
+    "solve_knapsack",
+    "column_group_interestingness",
+    "mutual_information",
+]

@@ -1,0 +1,111 @@
+"""Bond Energy Algorithm (BEA).
+
+McCormick, Schweitzer & White (1972) proposed the Bond Energy Algorithm to
+reorder the rows/columns of a matrix so that large values cluster together.
+Navathe et al. use it to cluster the attribute affinity matrix before
+splitting the clustered order into vertical partitions; O2P adapts the same
+algorithm to an online setting.
+
+The algorithm places attributes one at a time: each new attribute is inserted
+at the position (among all gaps in the current order) that maximises the
+*contribution* — the bond it forms with its new neighbours minus the bond the
+neighbours lose by being separated:
+
+``cont(l, k, r) = 2 * bond(l, k) + 2 * bond(k, r) - 2 * bond(l, r)``
+
+where ``bond(i, j) = Σ_a aff(a, i) * aff(a, j)`` and a virtual attribute 0
+with zero affinity sits at both ends of the order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def _bond(affinity: np.ndarray, left: Optional[int], right: Optional[int]) -> float:
+    """Bond between two columns of the affinity matrix; 0 at the borders."""
+    if left is None or right is None:
+        return 0.0
+    return float(affinity[:, left] @ affinity[:, right])
+
+
+def _contribution(
+    affinity: np.ndarray,
+    left: Optional[int],
+    middle: int,
+    right: Optional[int],
+) -> float:
+    """Net bond-energy gain of placing ``middle`` between ``left`` and ``right``."""
+    return (
+        2.0 * _bond(affinity, left, middle)
+        + 2.0 * _bond(affinity, middle, right)
+        - 2.0 * _bond(affinity, left, right)
+    )
+
+
+def bond_energy_order(
+    affinity: np.ndarray, initial: Optional[Sequence[int]] = None
+) -> List[int]:
+    """Clustered attribute order produced by the Bond Energy Algorithm.
+
+    Parameters
+    ----------
+    affinity:
+        Square attribute affinity matrix.
+    initial:
+        Optional seed order of attribute indices to start from (O2P appends
+        to an existing clustered order); defaults to the first two attributes
+        in index order.
+
+    Returns
+    -------
+    list of int
+        A permutation of ``range(n)`` with high-affinity attributes adjacent.
+    """
+    affinity = np.asarray(affinity, dtype=float)
+    if affinity.ndim != 2 or affinity.shape[0] != affinity.shape[1]:
+        raise ValueError("affinity must be a square matrix")
+    n = affinity.shape[0]
+    if n == 0:
+        return []
+    if n == 1:
+        return [0]
+
+    if initial is not None:
+        order = list(initial)
+        if len(set(order)) != len(order):
+            raise ValueError("initial order contains duplicates")
+        if any(not 0 <= index < n for index in order):
+            raise ValueError("initial order references unknown attribute indices")
+    else:
+        order = [0, 1] if n >= 2 else [0]
+
+    remaining = [index for index in range(n) if index not in set(order)]
+    for attribute in remaining:
+        best_position = 0
+        best_contribution = -np.inf
+        # Try every insertion gap, including both ends.
+        for position in range(len(order) + 1):
+            left = order[position - 1] if position > 0 else None
+            right = order[position] if position < len(order) else None
+            contribution = _contribution(affinity, left, attribute, right)
+            if contribution > best_contribution:
+                best_contribution = contribution
+                best_position = position
+        order.insert(best_position, attribute)
+    return order
+
+
+def bond_energy_score(affinity: np.ndarray, order: Sequence[int]) -> float:
+    """Total bond energy of an ordering (sum of bonds between adjacent columns).
+
+    Higher is better; used by tests to check that the BEA ordering is at least
+    as good as the identity ordering on clustered inputs.
+    """
+    affinity = np.asarray(affinity, dtype=float)
+    score = 0.0
+    for left, right in zip(order, list(order)[1:]):
+        score += _bond(affinity, left, right)
+    return score

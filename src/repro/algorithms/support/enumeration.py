@@ -1,0 +1,90 @@
+"""Set-partition enumeration and the associated counting functions.
+
+The brute force algorithm enumerates every possible vertical partitioning of a
+table's attribute set, i.e. every *set partition*.  The number of set
+partitions of an ``n``-element set is the Bell number ``B_n`` (4140 for the
+8-attribute TPC-H customer table, ~10.5 million for the 16-attribute Lineitem
+table — the numbers quoted in the paper).  Stirling numbers of the second kind
+count partitions with exactly ``k`` blocks.
+
+Enumeration uses restricted growth strings (RGS): a sequence ``a_1..a_n`` with
+``a_1 = 0`` and ``a_{i+1} <= max(a_1..a_i) + 1``; each RGS corresponds to
+exactly one set partition, so enumeration is both exhaustive and duplicate
+free.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator, List, Sequence, Tuple
+
+
+@lru_cache(maxsize=None)
+def stirling_second(n: int, k: int) -> int:
+    """Stirling number of the second kind: partitions of n items into k blocks."""
+    if n < 0 or k < 0:
+        raise ValueError("n and k must be non-negative")
+    if n == 0 and k == 0:
+        return 1
+    if n == 0 or k == 0:
+        return 0
+    if k > n:
+        return 0
+    return k * stirling_second(n - 1, k) + stirling_second(n - 1, k - 1)
+
+
+def bell_number(n: int) -> int:
+    """Bell number B_n: the number of set partitions of an n-element set."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return sum(stirling_second(n, k) for k in range(n + 1)) if n else 1
+
+
+def restricted_growth_strings(n: int) -> Iterator[Tuple[int, ...]]:
+    """Yield every restricted growth string of length ``n``."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if n == 0:
+        yield ()
+        return
+
+    assignment = [0] * n
+    maxima = [0] * n
+
+    while True:
+        yield tuple(assignment)
+        # Find the rightmost position that can be incremented.
+        position = n - 1
+        while position > 0 and assignment[position] >= maxima[position - 1] + 1:
+            position -= 1
+        if position == 0:
+            return
+        assignment[position] += 1
+        maxima[position] = max(maxima[position - 1], assignment[position])
+        for tail in range(position + 1, n):
+            assignment[tail] = 0
+            maxima[tail] = maxima[position]
+
+
+def set_partitions(items: Sequence[int]) -> Iterator[List[List[int]]]:
+    """Yield every set partition of ``items`` as a list of blocks.
+
+    Blocks preserve the input order of items; the number of partitions yielded
+    equals ``bell_number(len(items))``.
+    """
+    items = list(items)
+    n = len(items)
+    if n == 0:
+        yield []
+        return
+    for rgs in restricted_growth_strings(n):
+        block_count = max(rgs) + 1
+        blocks: List[List[int]] = [[] for _ in range(block_count)]
+        for item, block_index in zip(items, rgs):
+            blocks[block_index].append(item)
+        yield blocks
+
+
+def count_set_partitions(n: int) -> int:
+    """Alias of :func:`bell_number`, named for readability at call sites."""
+    return bell_number(n)

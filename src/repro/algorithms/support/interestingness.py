@@ -1,0 +1,116 @@
+"""Column-group interestingness for the Trojan layouts algorithm.
+
+Trojan prunes the exponential set of column groups with an *interestingness*
+measure based on the mutual information between the attributes of a group over
+the query-access distribution: a group is interesting if knowing that a query
+accesses one of its attributes tells you a lot about whether it accesses the
+others, i.e. the attributes tend to be co-accessed.
+
+We treat each attribute ``a`` as a binary random variable ``X_a`` over the
+(weighted) queries — ``X_a = 1`` iff the query references ``a`` — and define
+the interestingness of a column group ``G`` as the average normalised mutual
+information over its attribute pairs:
+
+``I(G) = mean_{a != b in G}  NMI(X_a, X_b)``,   ``I({a}) = 1``
+
+where ``NMI(X, Y) = MI(X, Y) / max(H(X), H(Y))`` (0 when either entropy is 0,
+but 1 when the two attributes have identical access patterns).  Groups whose
+interestingness falls below the threshold are pruned.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, Iterable, Sequence
+
+import numpy as np
+
+from repro.workload.workload import Workload
+
+
+def _entropy(probability: float) -> float:
+    """Binary entropy in nats; 0 for degenerate probabilities."""
+    if probability <= 0.0 or probability >= 1.0:
+        return 0.0
+    return -(
+        probability * math.log(probability)
+        + (1.0 - probability) * math.log(1.0 - probability)
+    )
+
+
+def mutual_information(workload: Workload, attr_a: int, attr_b: int) -> float:
+    """Mutual information (nats) between two attributes' access indicators."""
+    weights = workload.weights()
+    total = float(weights.sum())
+    if total <= 0.0:
+        return 0.0
+    usage = workload.usage_matrix()
+    a = usage[:, attr_a].astype(bool)
+    b = usage[:, attr_b].astype(bool)
+
+    def probability(mask: np.ndarray) -> float:
+        return float(weights[mask].sum()) / total
+
+    mi = 0.0
+    p_a1 = probability(a)
+    p_b1 = probability(b)
+    marginals_a = {True: p_a1, False: 1.0 - p_a1}
+    marginals_b = {True: p_b1, False: 1.0 - p_b1}
+    for value_a in (False, True):
+        for value_b in (False, True):
+            joint = probability((a == value_a) & (b == value_b))
+            if joint <= 0.0:
+                continue
+            denominator = marginals_a[value_a] * marginals_b[value_b]
+            if denominator <= 0.0:
+                continue
+            mi += joint * math.log(joint / denominator)
+    return max(0.0, mi)
+
+
+def normalized_mutual_information(workload: Workload, attr_a: int, attr_b: int) -> float:
+    """MI normalised to [0, 1] by the larger marginal entropy.
+
+    Two refinements make the raw information measure suitable for *column
+    grouping*:
+
+    * attributes with identical access patterns score 1 even when their
+      entropy is zero (always co-accessed is maximally interesting), and
+    * negatively associated attributes (accessed *instead of* each other more
+      often than chance) score 0 — information about mutual exclusion is high
+      MI but a terrible reason to co-locate two columns.
+    """
+    weights = workload.weights()
+    total = float(weights.sum())
+    usage = workload.usage_matrix()
+    a = usage[:, attr_a].astype(bool)
+    b = usage[:, attr_b].astype(bool)
+    if np.array_equal(a, b):
+        return 1.0
+    if total <= 0.0:
+        return 0.0
+    p_a = float(weights[a].sum()) / total
+    p_b = float(weights[b].sum()) / total
+    p_both = float(weights[a & b].sum()) / total
+    if p_both < p_a * p_b:
+        return 0.0
+    normaliser = max(_entropy(p_a), _entropy(p_b))
+    if normaliser <= 0.0:
+        return 0.0
+    return min(1.0, mutual_information(workload, attr_a, attr_b) / normaliser)
+
+
+def column_group_interestingness(
+    workload: Workload, attributes: Iterable[int]
+) -> float:
+    """Interestingness of a column group: mean pairwise normalised MI."""
+    group = sorted(set(attributes))
+    if not group:
+        raise ValueError("a column group must contain at least one attribute")
+    if len(group) == 1:
+        return 1.0
+    scores = []
+    for position, attr_a in enumerate(group):
+        for attr_b in group[position + 1:]:
+            scores.append(normalized_mutual_information(workload, attr_a, attr_b))
+    return float(np.mean(scores))

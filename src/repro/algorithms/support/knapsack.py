@@ -1,0 +1,97 @@
+"""0/1 knapsack solver used by the Trojan layouts algorithm.
+
+Trojan maps the final column-group selection to a 0/1 knapsack problem: from
+the set of interesting column groups, pick a subset that (a) does not contain
+any attribute twice and (b) maximises total benefit.  Because items here
+conflict through *shared attributes* rather than through a single scalar
+capacity, the solver below is a branch-and-bound over items with an
+attribute-disjointness constraint — exact for the candidate-set sizes that
+survive interestingness pruning, and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class KnapsackItem:
+    """One candidate column group with its benefit (higher is better)."""
+
+    attributes: FrozenSet[int]
+    benefit: float
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ValueError("a knapsack item must cover at least one attribute")
+
+
+def solve_knapsack(
+    items: Sequence[KnapsackItem],
+    max_items: Optional[int] = None,
+) -> List[KnapsackItem]:
+    """Select a maximum-benefit subset of attribute-disjoint items.
+
+    Parameters
+    ----------
+    items:
+        Candidate column groups with benefits.
+    max_items:
+        Optional cap on the number of selected groups.
+
+    Returns
+    -------
+    list of KnapsackItem
+        The chosen items, in the order they appear in ``items``.  Ties are
+        broken towards fewer items, then towards earlier items, so results
+        are deterministic.
+    """
+    ordered = sorted(
+        range(len(items)),
+        key=lambda index: (-items[index].benefit, len(items[index].attributes), index),
+    )
+    limit = len(items) if max_items is None else max(0, max_items)
+
+    best_benefit = float("-inf")
+    best_choice: Tuple[int, ...] = ()
+
+    # Suffix sums of benefits for bounding.
+    suffix_benefit = [0.0] * (len(ordered) + 1)
+    for position in range(len(ordered) - 1, -1, -1):
+        suffix_benefit[position] = (
+            suffix_benefit[position + 1] + max(0.0, items[ordered[position]].benefit)
+        )
+
+    def branch(
+        position: int,
+        used_attributes: FrozenSet[int],
+        chosen: Tuple[int, ...],
+        benefit: float,
+    ) -> None:
+        nonlocal best_benefit, best_choice
+        if benefit > best_benefit or (
+            benefit == best_benefit and len(chosen) < len(best_choice)
+        ):
+            best_benefit = benefit
+            best_choice = chosen
+        if position >= len(ordered) or len(chosen) >= limit:
+            return
+        # Bound: even taking every remaining positive-benefit item cannot beat
+        # the incumbent.
+        if benefit + suffix_benefit[position] <= best_benefit:
+            return
+        index = ordered[position]
+        item = items[index]
+        if not used_attributes & item.attributes:
+            branch(
+                position + 1,
+                used_attributes | item.attributes,
+                chosen + (index,),
+                benefit + item.benefit,
+            )
+        branch(position + 1, used_attributes, chosen, benefit)
+
+    branch(0, frozenset(), (), 0.0)
+    selected_indices = sorted(best_choice)
+    return [items[index] for index in selected_indices]

@@ -1,0 +1,46 @@
+"""Core vertical partitioning model.
+
+* :mod:`repro.core.partitioning` — :class:`Partition` and
+  :class:`Partitioning`, the validated output type of every algorithm.
+* :mod:`repro.core.algorithm` — the :class:`PartitioningAlgorithm` base class,
+  :class:`PartitioningResult`, and the algorithm registry.
+* :mod:`repro.core.advisor` — :class:`LayoutAdvisor`, the high-level public
+  API that runs an algorithm against a workload and cost model.
+* :mod:`repro.core.classification` — the paper's Tables 1 and 2 (taxonomy and
+  native settings of each algorithm) as queryable data.
+"""
+
+from repro.core.partitioning import (
+    Partition,
+    Partitioning,
+    PartitioningError,
+    column_partitioning,
+    row_partitioning,
+)
+from repro.core.algorithm import (
+    AlgorithmNotFoundError,
+    PartitioningAlgorithm,
+    PartitioningResult,
+    available_algorithms,
+    get_algorithm,
+    register_algorithm,
+)
+from repro.core.advisor import AdvisorReport, LayoutAdvisor
+from repro.core import classification
+
+__all__ = [
+    "Partition",
+    "Partitioning",
+    "PartitioningError",
+    "column_partitioning",
+    "row_partitioning",
+    "PartitioningAlgorithm",
+    "PartitioningResult",
+    "AlgorithmNotFoundError",
+    "available_algorithms",
+    "get_algorithm",
+    "register_algorithm",
+    "LayoutAdvisor",
+    "AdvisorReport",
+    "classification",
+]

@@ -1,0 +1,198 @@
+"""Algorithm base class, result type and registry.
+
+Every vertical partitioning algorithm in :mod:`repro.algorithms` subclasses
+:class:`PartitioningAlgorithm` and implements :meth:`compute`, which maps a
+:class:`~repro.workload.workload.Workload` and a
+:class:`~repro.cost.base.CostModel` to a
+:class:`~repro.core.partitioning.Partitioning`.  The base class wraps the call
+with wall-clock timing and cost-model call counting and returns a
+:class:`PartitioningResult`.
+
+A global registry maps algorithm names (``"hillclimb"``, ``"autopart"``, ...)
+to classes so that experiment drivers and the command-line examples can select
+algorithms by name.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Type
+
+from repro.core.partitioning import Partitioning
+from repro.cost.base import CostModel
+from repro.workload.workload import Workload
+
+
+class AlgorithmNotFoundError(KeyError):
+    """Raised when an unknown algorithm name is requested from the registry."""
+
+
+@dataclass
+class PartitioningResult:
+    """Outcome of running one algorithm on one workload.
+
+    Attributes
+    ----------
+    algorithm:
+        Registry name of the algorithm that produced the layout.
+    workload_name:
+        Name of the workload the layout was computed for.
+    partitioning:
+        The computed layout (complete and disjoint).
+    optimization_time:
+        Wall-clock seconds spent inside :meth:`PartitioningAlgorithm.compute`.
+    estimated_cost:
+        Estimated workload cost of the layout under the cost model the
+        algorithm optimised for.
+    cost_model:
+        Description of that cost model.
+    cost_evaluations:
+        Number of workload-cost evaluations the algorithm performed — a
+        machine-independent proxy for optimisation effort.
+    metadata:
+        Free-form per-algorithm diagnostics (iterations, candidates pruned...).
+    """
+
+    algorithm: str
+    workload_name: str
+    partitioning: Partitioning
+    optimization_time: float
+    estimated_cost: float
+    cost_model: str
+    cost_evaluations: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"{self.algorithm} on {self.workload_name}",
+            f"  optimization time : {self.optimization_time * 1e3:.2f} ms",
+            f"  estimated cost    : {self.estimated_cost:.4f} s ({self.cost_model})",
+            f"  cost evaluations  : {self.cost_evaluations}",
+            f"  partitions        : {self.partitioning.partition_count}",
+        ]
+        return "\n".join(lines)
+
+
+class _CountingCostModel(CostModel):
+    """Wraps a cost model and counts workload/query cost evaluations."""
+
+    def __init__(self, inner: CostModel) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.query_evaluations = 0
+        self.workload_evaluations = 0
+
+    def query_cost(self, query, partitioning):  # noqa: D102 - delegation
+        self.query_evaluations += 1
+        return self.inner.query_cost(query, partitioning)
+
+    def workload_cost(self, workload, partitioning):  # noqa: D102 - delegation
+        self.workload_evaluations += 1
+        return self.inner.workload_cost(workload, partitioning)
+
+    def partition_read_cost(self, partition, co_read, partitioning):  # noqa: D102
+        return self.inner.partition_read_cost(partition, co_read, partitioning)
+
+    def describe(self) -> str:  # noqa: D102 - delegation
+        return self.inner.describe()
+
+
+class PartitioningAlgorithm(abc.ABC):
+    """Base class of every vertical partitioning algorithm.
+
+    Subclasses implement :meth:`compute`; callers normally use :meth:`run`,
+    which adds timing, validation and bookkeeping.
+    """
+
+    #: Registry name; subclasses must override.
+    name: str = "abstract"
+
+    #: Paper classification (Table 1), for documentation and the
+    #: classification report: one of "brute-force", "top-down", "bottom-up".
+    search_strategy: str = ""
+    #: One of "whole-workload", "attribute-subset", "query-subset".
+    starting_point: str = "whole-workload"
+    #: One of "none", "threshold".
+    candidate_pruning: str = "none"
+
+    @abc.abstractmethod
+    def compute(self, workload: Workload, cost_model: CostModel) -> Partitioning:
+        """Compute a complete, disjoint partitioning for ``workload``."""
+
+    def run(self, workload: Workload, cost_model: CostModel) -> PartitioningResult:
+        """Time :meth:`compute`, evaluate the final layout and package the result."""
+        counting = _CountingCostModel(cost_model)
+        start = time.perf_counter()
+        partitioning = self.compute(workload, counting)
+        elapsed = time.perf_counter() - start
+        estimated_cost = cost_model.workload_cost(workload, partitioning)
+        return PartitioningResult(
+            algorithm=self.name,
+            workload_name=workload.name,
+            partitioning=partitioning,
+            optimization_time=elapsed,
+            estimated_cost=estimated_cost,
+            cost_model=cost_model.describe(),
+            cost_evaluations=counting.workload_evaluations + counting.query_evaluations,
+            metadata=dict(self.last_run_metadata()),
+        )
+
+    def last_run_metadata(self) -> Dict[str, object]:
+        """Per-run diagnostics; subclasses may override to expose internals."""
+        return {}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+#: The global registry of algorithm factories.
+_REGISTRY: Dict[str, Callable[[], PartitioningAlgorithm]] = {}
+
+
+def register_algorithm(
+    name: str, factory: Optional[Callable[[], PartitioningAlgorithm]] = None
+):
+    """Register an algorithm factory under ``name``.
+
+    Usable as a decorator on the class itself (the class is its own factory)
+    or called explicitly with a factory callable.
+    """
+
+    def _register(target):
+        _REGISTRY[name] = target
+        return target
+
+    if factory is not None:
+        _REGISTRY[name] = factory
+        return factory
+    return _register
+
+
+def available_algorithms() -> List[str]:
+    """Sorted names of all registered algorithms."""
+    _ensure_builtin_algorithms()
+    return sorted(_REGISTRY)
+
+
+def get_algorithm(name: str, **kwargs) -> PartitioningAlgorithm:
+    """Instantiate the algorithm registered as ``name``.
+
+    Keyword arguments are forwarded to the algorithm's constructor, so e.g.
+    ``get_algorithm("trojan", interestingness_threshold=0.3)`` works.
+    """
+    _ensure_builtin_algorithms()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise AlgorithmNotFoundError(
+            f"unknown algorithm {name!r}; available: {available_algorithms()}"
+        ) from None
+    return factory(**kwargs) if kwargs else factory()
+
+
+def _ensure_builtin_algorithms() -> None:
+    """Import the algorithms package so its registrations run."""
+    import repro.algorithms  # noqa: F401  (import for side effect)

@@ -1,0 +1,181 @@
+"""The paper's Tables 1 and 2 as queryable data.
+
+Table 1 classifies the evaluated algorithms along three dimensions (search
+strategy, starting point, candidate pruning).  Table 2 records the *native*
+setting each algorithm was originally proposed for (granularity, hardware,
+workload, replication, system) and the unified setting the paper strips them
+down to.  Both are exposed here as plain data structures plus formatting
+helpers so the classification benchmark can print them and the tests can
+cross-check the classification attributes declared on the algorithm classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Dimension values used in Table 1.
+SEARCH_STRATEGIES = ("brute-force", "top-down", "bottom-up")
+STARTING_POINTS = ("whole-workload", "attribute-subset", "query-subset")
+PRUNING_KINDS = ("none", "threshold")
+
+
+@dataclass(frozen=True)
+class AlgorithmClassification:
+    """One row of Table 1."""
+
+    algorithm: str
+    search_strategy: str
+    starting_point: str
+    candidate_pruning: str
+    reference: str
+
+
+@dataclass(frozen=True)
+class AlgorithmSetting:
+    """One column of Table 2: the native setting an algorithm was proposed in."""
+
+    algorithm: str
+    granularity: str
+    hardware: str
+    workload: str
+    replication: str
+    system: str
+
+
+#: Table 1 — classification of the evaluated vertical partitioning algorithms.
+TABLE_1: Tuple[AlgorithmClassification, ...] = (
+    AlgorithmClassification(
+        algorithm="autopart",
+        search_strategy="bottom-up",
+        starting_point="whole-workload",
+        candidate_pruning="none",
+        reference="Papadomanolakis & Ailamaki, SSDBM 2004",
+    ),
+    AlgorithmClassification(
+        algorithm="hillclimb",
+        search_strategy="bottom-up",
+        starting_point="whole-workload",
+        candidate_pruning="none",
+        reference="Hankins & Patel, VLDB 2003",
+    ),
+    AlgorithmClassification(
+        algorithm="hyrise",
+        search_strategy="bottom-up",
+        starting_point="attribute-subset",
+        candidate_pruning="none",
+        reference="Grund et al., PVLDB 2010",
+    ),
+    AlgorithmClassification(
+        algorithm="navathe",
+        search_strategy="top-down",
+        starting_point="whole-workload",
+        candidate_pruning="none",
+        reference="Navathe et al., ACM TODS 1984",
+    ),
+    AlgorithmClassification(
+        algorithm="o2p",
+        search_strategy="top-down",
+        starting_point="whole-workload",
+        candidate_pruning="none",
+        reference="Jindal & Dittrich, BIRTE 2011",
+    ),
+    AlgorithmClassification(
+        algorithm="trojan",
+        search_strategy="bottom-up",
+        starting_point="query-subset",
+        candidate_pruning="threshold",
+        reference="Jindal, Quiane-Ruiz & Dittrich, SOCC 2011",
+    ),
+    AlgorithmClassification(
+        algorithm="brute-force",
+        search_strategy="brute-force",
+        starting_point="whole-workload",
+        candidate_pruning="none",
+        reference="exhaustive enumeration",
+    ),
+)
+
+#: Table 2 — native settings of the algorithms plus the paper's unified setting.
+TABLE_2: Tuple[AlgorithmSetting, ...] = (
+    AlgorithmSetting("autopart", "file", "hard-disk", "offline", "partial", "custom"),
+    AlgorithmSetting("hillclimb", "data-page", "hard-disk", "offline", "none", "cost-model"),
+    AlgorithmSetting("hyrise", "data-page", "main-memory", "offline", "none", "custom"),
+    AlgorithmSetting("navathe", "file", "hard-disk", "offline", "none", "cost-model"),
+    AlgorithmSetting("o2p", "file", "hard-disk", "online", "none", "open-source"),
+    AlgorithmSetting("trojan", "database-block", "hard-disk", "offline", "full", "open-source"),
+    AlgorithmSetting("unified", "file", "hard-disk", "offline", "none", "cost-model"),
+)
+
+
+def classification_for(algorithm: str) -> AlgorithmClassification:
+    """Table 1 row for ``algorithm``."""
+    for row in TABLE_1:
+        if row.algorithm == algorithm:
+            return row
+    raise KeyError(f"no classification for algorithm {algorithm!r}")
+
+
+def setting_for(algorithm: str) -> AlgorithmSetting:
+    """Table 2 column for ``algorithm`` (or ``"unified"``)."""
+    for row in TABLE_2:
+        if row.algorithm == algorithm:
+            return row
+    raise KeyError(f"no setting recorded for algorithm {algorithm!r}")
+
+
+def classification_table() -> List[Dict[str, str]]:
+    """Table 1 as a list of dicts (one per algorithm)."""
+    return [
+        {
+            "algorithm": row.algorithm,
+            "search_strategy": row.search_strategy,
+            "starting_point": row.starting_point,
+            "candidate_pruning": row.candidate_pruning,
+            "reference": row.reference,
+        }
+        for row in TABLE_1
+    ]
+
+
+def settings_table() -> List[Dict[str, str]]:
+    """Table 2 as a list of dicts (one per algorithm plus the unified setting)."""
+    return [
+        {
+            "algorithm": row.algorithm,
+            "granularity": row.granularity,
+            "hardware": row.hardware,
+            "workload": row.workload,
+            "replication": row.replication,
+            "system": row.system,
+        }
+        for row in TABLE_2
+    ]
+
+
+def format_classification_table() -> str:
+    """Pretty-print Table 1."""
+    lines = [
+        f"{'algorithm':<12s} {'search strategy':<14s} {'starting point':<18s} "
+        f"{'pruning':<10s} reference"
+    ]
+    for row in TABLE_1:
+        lines.append(
+            f"{row.algorithm:<12s} {row.search_strategy:<14s} "
+            f"{row.starting_point:<18s} {row.candidate_pruning:<10s} {row.reference}"
+        )
+    return "\n".join(lines)
+
+
+def format_settings_table() -> str:
+    """Pretty-print Table 2."""
+    lines = [
+        f"{'algorithm':<12s} {'granularity':<16s} {'hardware':<12s} "
+        f"{'workload':<9s} {'replication':<12s} system"
+    ]
+    for row in TABLE_2:
+        lines.append(
+            f"{row.algorithm:<12s} {row.granularity:<16s} {row.hardware:<12s} "
+            f"{row.workload:<9s} {row.replication:<12s} {row.system}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,204 @@
+"""Partitions and partitionings.
+
+A *partition* (column group) is a set of attribute indices of one table.  A
+*partitioning* is a set of partitions that is **complete** (covers every
+attribute) and **disjoint** (no attribute appears twice) — the paper's unified
+setting excludes replication, so overlapping layouts are rejected here and
+only the perfect-materialised-views baseline (which is a cost reference, not a
+layout) is allowed to overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.workload.query import ResolvedQuery
+from repro.workload.schema import TableSchema
+
+
+class PartitioningError(ValueError):
+    """Raised when a partitioning is invalid (not complete or not disjoint)."""
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One column group: an immutable, non-empty set of attribute indices."""
+
+    attributes: FrozenSet[int]
+
+    def __init__(self, attributes: Iterable[int]) -> None:
+        attribute_set = frozenset(int(index) for index in attributes)
+        if not attribute_set:
+            raise PartitioningError("a partition must contain at least one attribute")
+        if any(index < 0 for index in attribute_set):
+            raise PartitioningError("attribute indices must be non-negative")
+        object.__setattr__(self, "attributes", attribute_set)
+
+    def row_size(self, schema: TableSchema) -> int:
+        """Width in bytes of one row of this column group."""
+        return schema.subset_row_size(self.attributes)
+
+    def intersects(self, indices: Iterable[int]) -> bool:
+        """True if this partition contains any of ``indices``."""
+        return not self.attributes.isdisjoint(indices)
+
+    def is_referenced_by(self, query: ResolvedQuery) -> bool:
+        """True if ``query`` references any attribute of this partition."""
+        return not self.attributes.isdisjoint(query.index_set)
+
+    def merged_with(self, other: "Partition") -> "Partition":
+        """A new partition containing both groups' attributes."""
+        return Partition(self.attributes | other.attributes)
+
+    def sorted_attributes(self) -> Tuple[int, ...]:
+        """Attribute indices in increasing order."""
+        return tuple(sorted(self.attributes))
+
+    def attribute_names(self, schema: TableSchema) -> Tuple[str, ...]:
+        """Attribute names of this group, in schema order."""
+        return tuple(schema.attribute_names[i] for i in self.sorted_attributes())
+
+    def __contains__(self, index: int) -> bool:
+        return index in self.attributes
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.sorted_attributes())
+
+    def __lt__(self, other: "Partition") -> bool:
+        return self.sorted_attributes() < other.sorted_attributes()
+
+
+@dataclass(frozen=True)
+class Partitioning:
+    """A complete and disjoint set of partitions of one table's attributes."""
+
+    schema: TableSchema
+    partitions: Tuple[Partition, ...]
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        partitions: Sequence,
+        validate: bool = True,
+    ) -> None:
+        normalised: List[Partition] = []
+        for partition in partitions:
+            if isinstance(partition, Partition):
+                normalised.append(partition)
+            else:
+                normalised.append(Partition(partition))
+        normalised.sort(key=lambda p: p.sorted_attributes())
+        object.__setattr__(self, "schema", schema)
+        object.__setattr__(self, "partitions", tuple(normalised))
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        seen: Set[int] = set()
+        for partition in self.partitions:
+            overlap = seen & partition.attributes
+            if overlap:
+                raise PartitioningError(
+                    f"attributes {sorted(overlap)} appear in more than one partition"
+                )
+            seen.update(partition.attributes)
+        expected = set(range(self.schema.attribute_count))
+        missing = expected - seen
+        if missing:
+            raise PartitioningError(
+                f"partitioning of {self.schema.name!r} misses attributes "
+                f"{sorted(missing)}"
+            )
+        extra = seen - expected
+        if extra:
+            raise PartitioningError(
+                f"partitioning of {self.schema.name!r} references unknown attribute "
+                f"indices {sorted(extra)}"
+            )
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def partition_count(self) -> int:
+        """Number of column groups."""
+        return len(self.partitions)
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def __iter__(self) -> Iterator[Partition]:
+        return iter(self.partitions)
+
+    def partition_of(self, attribute_index: int) -> Partition:
+        """The partition containing ``attribute_index``."""
+        for partition in self.partitions:
+            if attribute_index in partition:
+                return partition
+        raise PartitioningError(
+            f"attribute index {attribute_index} not covered by this partitioning"
+        )
+
+    def referenced_partitions(self, query: ResolvedQuery) -> List[Partition]:
+        """Partitions a query must read (those containing any referenced attribute)."""
+        return [p for p in self.partitions if p.is_referenced_by(query)]
+
+    def is_row_layout(self) -> bool:
+        """True if all attributes live in a single partition."""
+        return self.partition_count == 1
+
+    def is_column_layout(self) -> bool:
+        """True if every partition holds exactly one attribute."""
+        return all(len(partition) == 1 for partition in self.partitions)
+
+    def as_sets(self) -> List[FrozenSet[int]]:
+        """The partitions as plain frozensets (canonical order)."""
+        return [partition.attributes for partition in self.partitions]
+
+    def as_names(self) -> List[Tuple[str, ...]]:
+        """The partitions as tuples of attribute names (canonical order)."""
+        return [partition.attribute_names(self.schema) for partition in self.partitions]
+
+    def signature(self) -> FrozenSet[FrozenSet[int]]:
+        """Hashable canonical form, independent of partition order."""
+        return frozenset(partition.attributes for partition in self.partitions)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partitioning):
+            return NotImplemented
+        return self.schema.name == other.schema.name and self.signature() == other.signature()
+
+    def __hash__(self) -> int:
+        return hash((self.schema.name, self.signature()))
+
+    def describe(self) -> str:
+        """Human-readable layout, one line per column group."""
+        lines = [f"Partitioning of {self.schema.name} ({self.partition_count} groups)"]
+        for index, partition in enumerate(self.partitions):
+            names = ", ".join(partition.attribute_names(self.schema))
+            width = partition.row_size(self.schema)
+            lines.append(f"  P{index + 1} ({width:>4d} B/row): {names}")
+        return "\n".join(lines)
+
+
+def row_partitioning(schema: TableSchema) -> Partitioning:
+    """The row layout: one partition containing every attribute."""
+    return Partitioning(schema, [Partition(range(schema.attribute_count))])
+
+
+def column_partitioning(schema: TableSchema) -> Partitioning:
+    """The column layout: one partition per attribute."""
+    return Partitioning(
+        schema, [Partition([index]) for index in range(schema.attribute_count)]
+    )
+
+
+def partitioning_from_names(
+    schema: TableSchema, groups: Sequence[Sequence[str]]
+) -> Partitioning:
+    """Build a partitioning from groups of attribute *names*."""
+    partitions = [Partition(schema.indices_of(group)) for group in groups]
+    return Partitioning(schema, partitions)

@@ -1,0 +1,65 @@
+"""Abstract cost model interface.
+
+Every cost model estimates the cost of one query against one partitioning; the
+workload cost is the weighted sum over queries.  Algorithms only ever call
+:meth:`CostModel.workload_cost` / :meth:`CostModel.query_cost`, so swapping
+the disk model for the main-memory model (Table 6 of the paper) requires no
+algorithm changes.
+
+Cost models also expose :meth:`CostModel.partition_read_cost`, the cost of
+reading a single column group for a given set of co-read groups, which the
+metrics module uses to attribute costs to partitions.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence
+
+from repro.workload.query import ResolvedQuery
+from repro.workload.workload import Workload
+
+if TYPE_CHECKING:  # imported for type hints only, avoids a circular import
+    from repro.core.partitioning import Partition, Partitioning
+
+
+class CostModel(abc.ABC):
+    """Estimates I/O (or memory-access) cost of queries over a partitioning."""
+
+    #: Short identifier used in reports, e.g. ``"hdd"`` or ``"main-memory"``.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def query_cost(self, query: ResolvedQuery, partitioning: "Partitioning") -> float:
+        """Estimated cost (seconds) of one query over ``partitioning``."""
+
+    def workload_cost(self, workload: Workload, partitioning: "Partitioning") -> float:
+        """Weighted sum of per-query costs over the whole workload."""
+        return sum(
+            query.weight * self.query_cost(query, partitioning) for query in workload
+        )
+
+    def per_query_costs(
+        self, workload: Workload, partitioning: "Partitioning"
+    ) -> Dict[str, float]:
+        """Unweighted cost of each query, keyed by query name."""
+        return {
+            query.name: self.query_cost(query, partitioning) for query in workload
+        }
+
+    @abc.abstractmethod
+    def partition_read_cost(
+        self,
+        partition: "Partition",
+        co_read: Sequence["Partition"],
+        partitioning: "Partitioning",
+    ) -> float:
+        """Cost of reading ``partition`` when ``co_read`` partitions are read together.
+
+        ``co_read`` must include ``partition`` itself; the disk model uses the
+        co-read set to split the I/O buffer.
+        """
+
+    def describe(self) -> str:
+        """Human-readable description of the model and its parameters."""
+        return self.name

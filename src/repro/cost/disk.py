@@ -1,0 +1,93 @@
+"""Disk characteristics: the hardware parameters of the HDD cost model.
+
+Defaults are the paper's Bonnie++ measurements of its testbed (Section 4):
+a read bandwidth of 90.07 MB/s, a write bandwidth of 64.37 MB/s and an average
+seek time of 4.84 ms, combined with the experiment defaults of an 8 KB block
+and an 8 MB I/O buffer (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Number of bytes per kilobyte/megabyte, used consistently across the library.
+KB = 1024
+MB = 1024 * 1024
+
+
+class DiskParameterError(ValueError):
+    """Raised when disk characteristics are physically meaningless."""
+
+
+@dataclass(frozen=True)
+class DiskCharacteristics:
+    """Hardware/software parameters of the disk I/O cost model.
+
+    Attributes
+    ----------
+    block_size:
+        Size of one disk block in bytes (default 8 KB).
+    buffer_size:
+        Size of the database I/O buffer in bytes (default 8 MB).  The buffer
+        is shared among the vertical partitions a query reads, in proportion
+        to their row sizes.
+    read_bandwidth:
+        Sequential read bandwidth in bytes per second (default 90.07 MB/s).
+    write_bandwidth:
+        Sequential write bandwidth in bytes per second (default 64.37 MB/s),
+        used by the layout-creation-time model.
+    seek_time:
+        Average seek time in seconds (default 4.84 ms).
+    """
+
+    block_size: int = 8 * KB
+    buffer_size: int = 8 * MB
+    read_bandwidth: float = 90.07 * MB
+    write_bandwidth: float = 64.37 * MB
+    seek_time: float = 4.84e-3
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise DiskParameterError("block_size must be positive")
+        if self.buffer_size <= 0:
+            raise DiskParameterError("buffer_size must be positive")
+        if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
+            raise DiskParameterError("bandwidths must be positive")
+        if self.seek_time < 0:
+            raise DiskParameterError("seek_time must be non-negative")
+
+    # -- convenient copies ----------------------------------------------------
+
+    def with_buffer_size(self, buffer_size: int) -> "DiskCharacteristics":
+        """Copy with a different buffer size (Figures 8, 9, 13)."""
+        return replace(self, buffer_size=int(buffer_size))
+
+    def with_block_size(self, block_size: int) -> "DiskCharacteristics":
+        """Copy with a different block size (Figures 11a, 12a)."""
+        return replace(self, block_size=int(block_size))
+
+    def with_read_bandwidth(self, read_bandwidth: float) -> "DiskCharacteristics":
+        """Copy with a different read bandwidth (Figures 11b, 12b)."""
+        return replace(self, read_bandwidth=float(read_bandwidth))
+
+    def with_seek_time(self, seek_time: float) -> "DiskCharacteristics":
+        """Copy with a different seek time (Figures 11c, 12c)."""
+        return replace(self, seek_time=float(seek_time))
+
+    def describe(self) -> str:
+        """One-line summary of the parameters."""
+        return (
+            f"block={self.block_size / KB:g}KB buffer={self.buffer_size / MB:g}MB "
+            f"read={self.read_bandwidth / MB:.2f}MB/s "
+            f"write={self.write_bandwidth / MB:.2f}MB/s "
+            f"seek={self.seek_time * 1e3:.2f}ms"
+        )
+
+
+#: The paper's measured testbed.
+DEFAULT_DISK = DiskCharacteristics()
+
+#: A PostgreSQL-like configuration (the paper notes PostgreSQL defaults to an
+#: 8 MB buffer); identical to the testbed default but kept as a named constant
+#: for readability in the examples.
+POSTGRES_LIKE_DISK = DiskCharacteristics(buffer_size=8 * MB)

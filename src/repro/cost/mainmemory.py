@@ -1,0 +1,133 @@
+"""HYRISE-style main-memory (cache miss) cost model.
+
+Table 6 of the paper re-evaluates the layouts under a main-memory cost model:
+instead of seeks and disk bandwidth, the dominant cost is the number of CPU
+cache misses incurred while scanning the referenced column groups.  The key
+property of such a model is that *seek-like* costs (switching between
+partitions) are tiny compared to the cost of streaming data, so grouping
+columns can no longer amortise random I/O — it can only force queries to read
+unnecessary bytes.  Consequently nothing beats a pure column layout on data
+access cost, which is exactly the paper's finding (0.00% improvement for the
+HillClimb-class algorithms, negative for Navathe/O2P).
+
+The model charges, per referenced partition:
+
+* one cache miss per cache line occupied by the partition's rows (full group
+  width — a projection still streams the whole group through the cache), and
+* a fixed per-partition access penalty (TLB / pointer chasing), standing in
+  for the partition-switch overhead, orders of magnitude cheaper than a disk
+  seek.
+
+Costs are reported in seconds, derived from a nominal cache-miss latency, so
+they can be compared and normalised exactly like the HDD model's outputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Sequence
+
+from repro.cost.base import CostModel
+from repro.workload.query import ResolvedQuery
+
+if TYPE_CHECKING:  # imported for type hints only, avoids a circular import
+    from repro.core.partitioning import Partition, Partitioning
+
+
+class MemoryParameterError(ValueError):
+    """Raised when main-memory characteristics are physically meaningless."""
+
+
+@dataclass(frozen=True)
+class MainMemoryCharacteristics:
+    """Parameters of the cache-miss model.
+
+    Attributes
+    ----------
+    cache_line_size:
+        Bytes per cache line (64 B on the paper's Xeon testbed).
+    cache_miss_latency:
+        Seconds per last-level cache miss (~100 ns).
+    partition_access_penalty:
+        Fixed cost of touching one additional column group per query
+        (seconds); stands in for per-partition pointer/TLB overhead and is
+        deliberately tiny relative to streaming costs.
+    """
+
+    cache_line_size: int = 64
+    cache_miss_latency: float = 100e-9
+    partition_access_penalty: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.cache_line_size <= 0:
+            raise MemoryParameterError("cache_line_size must be positive")
+        if self.cache_miss_latency <= 0:
+            raise MemoryParameterError("cache_miss_latency must be positive")
+        if self.partition_access_penalty < 0:
+            raise MemoryParameterError("partition_access_penalty must be non-negative")
+
+    def with_cache_line_size(self, cache_line_size: int) -> "MainMemoryCharacteristics":
+        """Copy with a different cache-line size."""
+        return replace(self, cache_line_size=int(cache_line_size))
+
+
+#: Sensible defaults for the paper's testbed (64 B lines, ~100 ns miss).
+DEFAULT_MEMORY = MainMemoryCharacteristics()
+
+
+class MainMemoryCostModel(CostModel):
+    """Cache-miss based cost model for main-memory systems (HYRISE setting)."""
+
+    name = "main-memory"
+
+    def __init__(self, memory: MainMemoryCharacteristics = DEFAULT_MEMORY) -> None:
+        self.memory = memory
+
+    def cache_misses(self, partition: Partition, partitioning: Partitioning) -> int:
+        """Cache misses incurred by streaming one full column group.
+
+        Rows of a group are stored contiguously, so the group occupies
+        ``ceil(N * s_i / L)`` cache lines when the row width is at most a
+        line; wider rows touch ``ceil(s_i / L)`` lines per row because
+        consecutive projections of a row no longer share lines.
+        """
+        schema = partitioning.schema
+        row_size = partition.row_size(schema)
+        line = self.memory.cache_line_size
+        if row_size <= line:
+            return math.ceil(schema.row_count * row_size / line)
+        return schema.row_count * math.ceil(row_size / line)
+
+    def partition_read_cost(
+        self,
+        partition: Partition,
+        co_read: Sequence[Partition],
+        partitioning: Partitioning,
+    ) -> float:
+        """Streaming cost of one group plus the per-group access penalty."""
+        misses = self.cache_misses(partition, partitioning)
+        return (
+            misses * self.memory.cache_miss_latency
+            + self.memory.partition_access_penalty
+        )
+
+    def query_cost(self, query: ResolvedQuery, partitioning: Partitioning) -> float:
+        """Sum of per-group costs over the referenced groups."""
+        referenced = partitioning.referenced_partitions(query)
+        if not referenced:
+            return 0.0
+        return sum(
+            self.partition_read_cost(partition, referenced, partitioning)
+            for partition in referenced
+        )
+
+    def with_memory(self, memory: MainMemoryCharacteristics) -> "MainMemoryCostModel":
+        """A new model over different memory characteristics."""
+        return MainMemoryCostModel(memory)
+
+    def describe(self) -> str:
+        return (
+            f"main-memory(line={self.memory.cache_line_size}B, "
+            f"miss={self.memory.cache_miss_latency * 1e9:g}ns)"
+        )

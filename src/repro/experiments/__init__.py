@@ -1,0 +1,65 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+Every driver returns plain data structures (lists of dicts keyed by the same
+labels the paper uses) so that the benchmark harnesses in ``benchmarks/`` can
+print them and the integration tests can assert on their shape.  The mapping
+from paper artefact to driver:
+
+==============  ==========================================================
+Figure 1        :func:`repro.experiments.optimization_time.optimization_times`
+Figure 2        :func:`repro.experiments.optimization_time.optimization_time_vs_workload_size`
+Figure 3        :func:`repro.experiments.quality.estimated_workload_runtimes`
+Figure 4        :func:`repro.experiments.quality.unnecessary_data_read`
+Figure 5        :func:`repro.experiments.quality.tuple_reconstruction_joins`
+Figure 6        :func:`repro.experiments.quality.distance_from_pmv`
+Figure 7        :func:`repro.experiments.workload_scaling.improvement_over_column_vs_k`
+Table 3         :func:`repro.experiments.workload_scaling.unnecessary_reads_vs_k`
+Table 4         :func:`repro.experiments.workload_scaling.reconstruction_joins_vs_k`
+Figure 8        :func:`repro.experiments.fragility.buffer_size_fragility`
+Figure 9        :func:`repro.experiments.sweet_spots.buffer_size_sweet_spots`
+Figure 10       :func:`repro.experiments.payoff.payoff_over_baselines`
+Figure 11       :func:`repro.experiments.fragility.parameter_fragility`
+Figure 12       :func:`repro.experiments.sweet_spots.parameter_sweet_spots`
+Figure 13       :func:`repro.experiments.sweet_spots.scale_factor_sweet_spots`
+Figure 14       :func:`repro.experiments.layouts.computed_layouts`
+Table 1 / 2     :mod:`repro.core.classification`
+Table 5         :func:`repro.experiments.quality.improvement_over_column_by_benchmark`
+Table 6         :func:`repro.experiments.quality.improvement_over_column_by_cost_model`
+Table 7         :func:`repro.experiments.dbms_x_experiment.dbms_x_runtimes`
+==============  ==========================================================
+"""
+
+from repro.experiments.runner import (
+    SuiteResult,
+    TableRun,
+    run_suite,
+    DEFAULT_ALGORITHM_ORDER,
+)
+from repro.experiments import (
+    optimization_time,
+    quality,
+    workload_scaling,
+    fragility,
+    sweet_spots,
+    payoff,
+    layouts,
+    dbms_x_experiment,
+)
+from repro.experiments.report import format_table, format_percentage
+
+__all__ = [
+    "run_suite",
+    "SuiteResult",
+    "TableRun",
+    "DEFAULT_ALGORITHM_ORDER",
+    "optimization_time",
+    "quality",
+    "workload_scaling",
+    "fragility",
+    "sweet_spots",
+    "payoff",
+    "layouts",
+    "dbms_x_experiment",
+    "format_table",
+    "format_percentage",
+]

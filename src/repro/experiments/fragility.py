@@ -1,0 +1,156 @@
+"""Figures 8 and 11: algorithm fragility.
+
+Fragility asks: if the layouts were computed for one hardware/software setting
+and that setting changes *at query time* (without recomputing the layouts),
+how much does the estimated workload runtime change?
+
+* Figure 8 varies the I/O buffer size (0.08 MB … 8000 MB around the 8 MB
+  default) — the parameter with by far the largest impact (up to ~24x).
+* Figure 11 varies the block size, the disk read bandwidth and the seek time —
+  all of which turn out to matter far less (<1%, ~40%, <5% respectively).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.cost.disk import DEFAULT_DISK, KB, MB, DiskCharacteristics
+from repro.cost.hdd import HDDCostModel
+from repro.core.algorithm import get_algorithm
+from repro.core.partitioning import (
+    Partitioning,
+    column_partitioning,
+    row_partitioning,
+)
+from repro.metrics.fragility import fragility
+from repro.workload import tpch
+from repro.workload.workload import Workload
+
+#: Layout producers compared in the fragility figures: the two representative
+#: algorithms plus both baselines, as in the paper.
+FRAGILITY_SUBJECTS = ("hillclimb", "navathe", "column", "row")
+
+#: Buffer sizes of Figure 8 (bytes).
+FIGURE8_BUFFER_SIZES = (
+    int(0.08 * MB),
+    int(0.8 * MB),
+    8 * MB,
+    80 * MB,
+    800 * MB,
+    8000 * MB,
+)
+
+#: Block sizes of Figure 11(a) (bytes).
+FIGURE11_BLOCK_SIZES = (512, 1 * KB, 2 * KB, 4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB)
+
+#: Read bandwidths of Figure 11(b) (bytes/second).
+FIGURE11_BANDWIDTHS = tuple(int(mbps * MB) for mbps in (60, 70, 80, 90, 100, 110, 120))
+
+#: Seek times of Figure 11(c) (seconds).
+FIGURE11_SEEK_TIMES = (3.5e-3, 4e-3, 4.5e-3, 4.84e-3, 5e-3, 5.5e-3, 6e-3)
+
+
+def _layouts_for(
+    subjects: Sequence[str],
+    workloads: Mapping[str, Workload],
+    cost_model: HDDCostModel,
+) -> Dict[str, Dict[str, Partitioning]]:
+    """Layouts of every subject per table, computed under ``cost_model``."""
+    layouts: Dict[str, Dict[str, Partitioning]] = {}
+    for subject in subjects:
+        layouts[subject] = {}
+        for table, workload in workloads.items():
+            if subject == "row":
+                layouts[subject][table] = row_partitioning(workload.schema)
+            elif subject == "column":
+                layouts[subject][table] = column_partitioning(workload.schema)
+            else:
+                result = get_algorithm(subject).run(workload, cost_model)
+                layouts[subject][table] = result.partitioning
+    return layouts
+
+
+def _total_cost(
+    layouts: Mapping[str, Partitioning],
+    workloads: Mapping[str, Workload],
+    cost_model: HDDCostModel,
+) -> float:
+    return sum(
+        cost_model.workload_cost(workload, layouts[table])
+        for table, workload in workloads.items()
+    )
+
+
+def buffer_size_fragility(
+    buffer_sizes: Sequence[int] = FIGURE8_BUFFER_SIZES,
+    subjects: Sequence[str] = FRAGILITY_SUBJECTS,
+    scale_factor: float = 10.0,
+    base_disk: DiskCharacteristics = DEFAULT_DISK,
+) -> List[Dict[str, object]]:
+    """Figure 8 rows: fragility (relative cost change) per buffer size and subject."""
+    workloads = tpch.tpch_workloads(scale_factor=scale_factor)
+    base_model = HDDCostModel(base_disk)
+    layouts = _layouts_for(subjects, workloads, base_model)
+    base_costs = {
+        subject: _total_cost(layouts[subject], workloads, base_model)
+        for subject in subjects
+    }
+    rows = []
+    for buffer_size in buffer_sizes:
+        new_model = HDDCostModel(base_disk.with_buffer_size(buffer_size))
+        row: Dict[str, object] = {"buffer_size_mb": buffer_size / MB}
+        for subject in subjects:
+            new_cost = _total_cost(layouts[subject], workloads, new_model)
+            base = base_costs[subject]
+            row[subject] = 0.0 if base <= 0 else (new_cost - base) / base
+        rows.append(row)
+    return rows
+
+
+def parameter_fragility(
+    parameter: str,
+    values: Optional[Sequence[float]] = None,
+    subjects: Sequence[str] = FRAGILITY_SUBJECTS,
+    scale_factor: float = 10.0,
+    base_disk: DiskCharacteristics = DEFAULT_DISK,
+) -> List[Dict[str, object]]:
+    """Figure 11 rows: fragility when changing one disk parameter at query time.
+
+    ``parameter`` is one of ``"block_size"``, ``"read_bandwidth"``,
+    ``"seek_time"``; ``values`` defaults to the paper's sweep for that
+    parameter.
+    """
+    defaults = {
+        "block_size": FIGURE11_BLOCK_SIZES,
+        "read_bandwidth": FIGURE11_BANDWIDTHS,
+        "seek_time": FIGURE11_SEEK_TIMES,
+    }
+    if parameter not in defaults:
+        raise ValueError(
+            f"parameter must be one of {sorted(defaults)}, got {parameter!r}"
+        )
+    sweep = values if values is not None else defaults[parameter]
+
+    workloads = tpch.tpch_workloads(scale_factor=scale_factor)
+    base_model = HDDCostModel(base_disk)
+    layouts = _layouts_for(subjects, workloads, base_model)
+    base_costs = {
+        subject: _total_cost(layouts[subject], workloads, base_model)
+        for subject in subjects
+    }
+    rows = []
+    for value in sweep:
+        if parameter == "block_size":
+            disk = base_disk.with_block_size(int(value))
+        elif parameter == "read_bandwidth":
+            disk = base_disk.with_read_bandwidth(float(value))
+        else:
+            disk = base_disk.with_seek_time(float(value))
+        new_model = HDDCostModel(disk)
+        row: Dict[str, object] = {parameter: value}
+        for subject in subjects:
+            new_cost = _total_cost(layouts[subject], workloads, new_model)
+            base = base_costs[subject]
+            row[subject] = 0.0 if base <= 0 else (new_cost - base) / base
+        rows.append(row)
+    return rows

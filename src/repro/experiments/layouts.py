@@ -1,0 +1,73 @@
+"""Figure 14: the computed layouts for every TPC-H table.
+
+The paper closes with a picture of the partitionings each algorithm computes
+per table, showing two clear classes: the "HillClimb class" (AutoPart,
+HillClimb, HYRISE, Trojan, BruteForce) whose layouts are identical or nearly
+identical, and the Navathe/O2P class whose order-constrained layouts differ
+significantly.  This driver returns the layouts (as attribute-name groups) so
+the benchmark can print them and the tests can compare the classes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import (
+    DEFAULT_ALGORITHM_ORDER,
+    SuiteResult,
+    run_suite,
+)
+from repro.workload import tpch
+
+
+def computed_layouts(
+    suite: Optional[SuiteResult] = None,
+    scale_factor: float = 10.0,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHM_ORDER,
+) -> List[Dict[str, object]]:
+    """Figure 14 rows: one row per (table, algorithm) with the layout's groups."""
+    if suite is None:
+        suite = run_suite(
+            tpch.tpch_workloads(scale_factor=scale_factor), algorithms=algorithms
+        )
+    rows = []
+    for table in suite.tables:
+        for algorithm in algorithms:
+            if algorithm not in suite.runs:
+                continue
+            layout = suite.layout(algorithm, table)
+            rows.append(
+                {
+                    "table": table,
+                    "algorithm": algorithm,
+                    "partition_count": layout.partition_count,
+                    "groups": [list(group) for group in layout.as_names()],
+                }
+            )
+    return rows
+
+
+def layout_classes(
+    suite: Optional[SuiteResult] = None,
+    scale_factor: float = 10.0,
+) -> Dict[str, Dict[str, List[str]]]:
+    """Group algorithms by identical layout signature, per table.
+
+    Returns ``{table: {signature_key: [algorithms...]}}`` where algorithms that
+    produced exactly the same partitioning share a signature key — the
+    "HillClimb class" versus "Navathe class" structure of Figure 14.
+    """
+    if suite is None:
+        suite = run_suite(tpch.tpch_workloads(scale_factor=scale_factor))
+    classes: Dict[str, Dict[str, List[str]]] = {}
+    for table in suite.tables:
+        classes[table] = {}
+        for algorithm in suite.algorithms:
+            if algorithm in ("row", "column"):
+                continue
+            layout = suite.layout(algorithm, table)
+            key = " | ".join(
+                ",".join(group) for group in sorted(layout.as_names())
+            )
+            classes[table].setdefault(key, []).append(algorithm)
+    return classes

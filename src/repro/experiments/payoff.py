@@ -1,0 +1,68 @@
+"""Figure 10: pay-off of vertical partitioning over Row and over Column.
+
+The pay-off is the fraction (or multiple) of the workload that must execute
+before the time invested in partitioning (optimisation plus layout creation)
+is recovered by the runtime improvement over a baseline.  The paper finds that
+every algorithm pays off over Row after about a quarter of the TPC-H workload,
+while paying off over Column takes tens to hundreds of workload executions —
+and never happens for Navathe and O2P, whose layouts are worse than Column.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cost.creation import estimate_creation_time
+from repro.cost.disk import DEFAULT_DISK, DiskCharacteristics
+from repro.experiments.runner import (
+    DEFAULT_ALGORITHM_ORDER,
+    SuiteResult,
+    run_suite,
+)
+from repro.metrics.payoff import payoff_fraction
+from repro.workload import tpch
+
+
+def payoff_over_baselines(
+    suite: Optional[SuiteResult] = None,
+    scale_factor: float = 10.0,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHM_ORDER,
+    disk: DiskCharacteristics = DEFAULT_DISK,
+) -> List[Dict[str, object]]:
+    """Figure 10 rows: pay-off of each algorithm over Row and over Column.
+
+    Returns one row per algorithm with ``payoff_over_row`` and
+    ``payoff_over_column`` expressed as a fraction of one workload execution
+    (0.25 = a quarter of the workload; 44.5 = forty-four and a half workload
+    executions; negative = never pays off).
+    """
+    if suite is None:
+        suite = run_suite(
+            tpch.tpch_workloads(scale_factor=scale_factor), algorithms=algorithms
+        )
+    row_total = suite.total_cost("row")
+    column_total = suite.total_cost("column")
+    rows = []
+    for algorithm in algorithms:
+        if algorithm not in suite.runs:
+            continue
+        creation_time = sum(
+            estimate_creation_time(run.partitioning, disk)
+            for run in suite.runs[algorithm].values()
+        )
+        optimization_time = suite.total_optimization_time(algorithm)
+        cost = suite.total_cost(algorithm)
+        rows.append(
+            {
+                "algorithm": algorithm,
+                "optimization_time_s": optimization_time,
+                "creation_time_s": creation_time,
+                "payoff_over_row": payoff_fraction(
+                    optimization_time, creation_time, row_total, cost
+                ),
+                "payoff_over_column": payoff_fraction(
+                    optimization_time, creation_time, column_total, cost
+                ),
+            }
+        )
+    return rows

@@ -1,0 +1,56 @@
+"""Plain-text report rendering used by the benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_percentage(value: float, decimals: int = 2) -> str:
+    """Format a fraction as a signed percentage string, e.g. ``+3.71%``."""
+    return f"{value * 100:+.{decimals}f}%"
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table.
+
+    Parameters
+    ----------
+    rows:
+        The data; every row is a mapping from column name to value.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional heading printed above the table.
+    float_format:
+        Format applied to float values.
+    """
+    if not rows:
+        return title or "(empty table)"
+    column_names = list(columns) if columns else list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(name, "")) for name in column_names] for row in rows]
+    widths = [
+        max(len(column_names[i]), *(len(row[i]) for row in rendered))
+        for i in range(len(column_names))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(name.ljust(widths[i]) for i, name in enumerate(column_names))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,188 @@
+"""Figures 9, 12 and 13: where does vertical partitioning make sense?
+
+Instead of keeping a stale layout (the fragility experiments), these
+experiments *re-optimise* the layouts for every parameter value and report the
+workload cost normalised by the column layout's cost under the same
+parameters.  Values below 100% mean the column-grouped layout beats the pure
+column layout for that setting.
+
+* Figure 9 sweeps the I/O buffer size and also shows the perfect materialised
+  views reference.  The paper's key finding: vertical partitioning beats the
+  column layout only for buffers below roughly 100 MB.
+* Figure 12 sweeps block size, read bandwidth and seek time (little effect,
+  "no interesting regions").
+* Figure 13 sweeps buffer size and the dataset scale factor together for
+  HillClimb and Navathe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.algorithms.baselines import PerfectMaterializedViews
+from repro.core.algorithm import get_algorithm
+from repro.core.partitioning import column_partitioning, row_partitioning
+from repro.cost.disk import DEFAULT_DISK, KB, MB, DiskCharacteristics
+from repro.cost.hdd import HDDCostModel
+from repro.workload import tpch
+from repro.workload.workload import Workload
+
+#: Buffer sizes of Figure 9 / 13 (bytes): 0.01 MB .. 10 000 MB, log-spaced.
+FIGURE9_BUFFER_SIZES = tuple(
+    int(size * MB) for size in (0.01, 0.1, 1, 10, 100, 1_000, 10_000)
+)
+
+#: Algorithms shown in Figures 9, 12 and 13.
+SWEET_SPOT_ALGORITHMS = ("hillclimb", "navathe")
+
+#: Parameter sweeps for Figure 12.
+FIGURE12_BLOCK_SIZES = (2 * KB, 4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB)
+FIGURE12_BANDWIDTHS = tuple(int(m * MB) for m in (70, 90, 110, 130, 150, 170, 190))
+FIGURE12_SEEK_TIMES = (1e-3, 2e-3, 3e-3, 4e-3, 5e-3, 6e-3, 7e-3)
+
+#: Scale factors of Figure 13.
+FIGURE13_SCALE_FACTORS = (0.1, 1.0, 10.0, 100.0)
+
+
+def _normalized_costs_for_disk(
+    disk: DiskCharacteristics,
+    workloads: Mapping[str, Workload],
+    algorithms: Sequence[str],
+    include_pmv: bool = True,
+    include_row: bool = False,
+) -> Dict[str, float]:
+    """Re-optimise for ``disk`` and return per-subject cost / column cost."""
+    model = HDDCostModel(disk)
+    column_total = sum(
+        model.workload_cost(workload, column_partitioning(workload.schema))
+        for workload in workloads.values()
+    )
+    results: Dict[str, float] = {}
+    for name in algorithms:
+        total = 0.0
+        for workload in workloads.values():
+            result = get_algorithm(name).run(workload, model)
+            total += result.estimated_cost
+        results[name] = total / column_total if column_total > 0 else 0.0
+    if include_pmv:
+        pmv = PerfectMaterializedViews()
+        pmv_total = sum(
+            pmv.workload_cost(workload, model) for workload in workloads.values()
+        )
+        results["pmv"] = pmv_total / column_total if column_total > 0 else 0.0
+    if include_row:
+        row_total = sum(
+            model.workload_cost(workload, row_partitioning(workload.schema))
+            for workload in workloads.values()
+        )
+        results["row"] = row_total / column_total if column_total > 0 else 0.0
+    results["column"] = 1.0
+    return results
+
+
+def buffer_size_sweet_spots(
+    buffer_sizes: Sequence[int] = FIGURE9_BUFFER_SIZES,
+    algorithms: Sequence[str] = SWEET_SPOT_ALGORITHMS,
+    scale_factor: float = 10.0,
+    tables: Optional[Sequence[str]] = None,
+    base_disk: DiskCharacteristics = DEFAULT_DISK,
+) -> List[Dict[str, object]]:
+    """Figure 9 rows: normalised cost per buffer size when re-optimising each time."""
+    workloads = tpch.tpch_workloads(scale_factor=scale_factor)
+    if tables is not None:
+        workloads = {name: workloads[name] for name in tables}
+    rows = []
+    for buffer_size in buffer_sizes:
+        disk = base_disk.with_buffer_size(buffer_size)
+        normalized = _normalized_costs_for_disk(disk, workloads, algorithms)
+        row: Dict[str, object] = {"buffer_size_mb": buffer_size / MB}
+        row.update(normalized)
+        rows.append(row)
+    return rows
+
+
+def parameter_sweet_spots(
+    parameter: str,
+    values: Optional[Sequence[float]] = None,
+    algorithms: Sequence[str] = SWEET_SPOT_ALGORITHMS,
+    scale_factor: float = 10.0,
+    tables: Optional[Sequence[str]] = None,
+    base_disk: DiskCharacteristics = DEFAULT_DISK,
+) -> List[Dict[str, object]]:
+    """Figure 12 rows: absolute estimated runtimes when re-optimising per value.
+
+    Unlike Figure 9 the paper plots absolute runtimes here, so the rows hold
+    the total estimated cost per subject (including Row, Column and the
+    query-optimal PMV reference).
+    """
+    defaults = {
+        "block_size": FIGURE12_BLOCK_SIZES,
+        "read_bandwidth": FIGURE12_BANDWIDTHS,
+        "seek_time": FIGURE12_SEEK_TIMES,
+    }
+    if parameter not in defaults:
+        raise ValueError(
+            f"parameter must be one of {sorted(defaults)}, got {parameter!r}"
+        )
+    sweep = values if values is not None else defaults[parameter]
+    workloads = tpch.tpch_workloads(scale_factor=scale_factor)
+    if tables is not None:
+        workloads = {name: workloads[name] for name in tables}
+
+    rows = []
+    for value in sweep:
+        if parameter == "block_size":
+            disk = base_disk.with_block_size(int(value))
+        elif parameter == "read_bandwidth":
+            disk = base_disk.with_read_bandwidth(float(value))
+        else:
+            disk = base_disk.with_seek_time(float(value))
+        model = HDDCostModel(disk)
+        row: Dict[str, object] = {parameter: value}
+        for name in algorithms:
+            total = 0.0
+            for workload in workloads.values():
+                total += get_algorithm(name).run(workload, model).estimated_cost
+            row[name] = total
+        row["column"] = sum(
+            model.workload_cost(w, column_partitioning(w.schema))
+            for w in workloads.values()
+        )
+        row["row"] = sum(
+            model.workload_cost(w, row_partitioning(w.schema))
+            for w in workloads.values()
+        )
+        pmv = PerfectMaterializedViews()
+        row["query_optimal"] = sum(
+            pmv.workload_cost(w, model) for w in workloads.values()
+        )
+        rows.append(row)
+    return rows
+
+
+def scale_factor_sweet_spots(
+    algorithm: str = "hillclimb",
+    buffer_sizes: Sequence[int] = FIGURE9_BUFFER_SIZES,
+    scale_factors: Sequence[float] = FIGURE13_SCALE_FACTORS,
+    tables: Optional[Sequence[str]] = None,
+    base_disk: DiskCharacteristics = DEFAULT_DISK,
+) -> List[Dict[str, object]]:
+    """Figure 13 rows: normalised cost per (scale factor, buffer size) pair."""
+    rows = []
+    for scale_factor in scale_factors:
+        workloads = tpch.tpch_workloads(scale_factor=scale_factor)
+        if tables is not None:
+            workloads = {name: workloads[name] for name in tables}
+        for buffer_size in buffer_sizes:
+            disk = base_disk.with_buffer_size(buffer_size)
+            normalized = _normalized_costs_for_disk(
+                disk, workloads, [algorithm], include_pmv=False
+            )
+            rows.append(
+                {
+                    "scale_factor": scale_factor,
+                    "buffer_size_mb": buffer_size / MB,
+                    algorithm: normalized[algorithm],
+                }
+            )
+    return rows

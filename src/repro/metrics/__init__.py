@@ -1,0 +1,41 @@
+"""Comparison metrics (Section 5 of the paper).
+
+The paper introduces four metrics for comparing vertical partitioning
+algorithms; this package implements them together with the derived measures
+used in the evaluation figures:
+
+* **How fast** — optimisation time (measured by
+  :meth:`repro.core.algorithm.PartitioningAlgorithm.run`).
+* **How good** — estimated workload cost, improvement over row and column
+  layouts, fraction of unnecessary data read, average tuple-reconstruction
+  joins, distance from perfect materialised views (:mod:`repro.metrics.quality`).
+* **How fragile** — change in workload cost when a cost-model parameter
+  changes after the layout was computed (:mod:`repro.metrics.fragility`).
+* **Where does it make sense** — workload cost when re-optimising for each
+  parameter value, normalised to the column layout
+  (:mod:`repro.metrics.fragility`, re-optimising variant), plus the pay-off
+  metric of Appendix A.1 (:mod:`repro.metrics.payoff`).
+"""
+
+from repro.metrics.quality import (
+    average_reconstruction_joins,
+    bytes_needed,
+    bytes_read,
+    distance_from_pmv,
+    improvement_over,
+    unnecessary_data_fraction,
+)
+from repro.metrics.fragility import fragility, normalized_cost
+from repro.metrics.payoff import payoff_fraction
+
+__all__ = [
+    "bytes_read",
+    "bytes_needed",
+    "unnecessary_data_fraction",
+    "average_reconstruction_joins",
+    "improvement_over",
+    "distance_from_pmv",
+    "fragility",
+    "normalized_cost",
+    "payoff_fraction",
+]

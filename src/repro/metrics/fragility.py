@@ -1,0 +1,58 @@
+""""How fragile" and "where does it make sense" metrics.
+
+*Fragility* (Section 6.3, Figures 8 and 11): compute a layout under one cost
+model setting, then measure how much the estimated workload cost changes if a
+cost-model parameter (buffer size, block size, bandwidth, seek time) changes
+at query time **without** recomputing the layout:
+
+``fragility = (cost_new - cost_old) / cost_old``
+
+*Where does it make sense* (Section 6.4, Figures 9, 12 and 13): re-optimise
+the layout for every parameter value and report the cost normalised by the
+column layout's cost under the same parameters:
+
+``normalized cost = cost(layout) / cost(column) * 100%``
+"""
+
+from __future__ import annotations
+
+from repro.core.partitioning import Partitioning, column_partitioning
+from repro.cost.base import CostModel
+from repro.workload.workload import Workload
+
+
+def fragility(
+    workload: Workload,
+    partitioning: Partitioning,
+    old_cost_model: CostModel,
+    new_cost_model: CostModel,
+) -> float:
+    """Relative change in workload cost when the setting changes at query time.
+
+    A value of 0 means the layout's cost is unaffected; 24 means the workload
+    became 24x more expensive (the paper's worst case when shrinking the
+    buffer from 8 MB to 80 KB).
+    """
+    old_cost = old_cost_model.workload_cost(workload, partitioning)
+    if old_cost <= 0.0:
+        return 0.0
+    new_cost = new_cost_model.workload_cost(workload, partitioning)
+    return (new_cost - old_cost) / old_cost
+
+
+def normalized_cost(
+    workload: Workload,
+    partitioning: Partitioning,
+    cost_model: CostModel,
+) -> float:
+    """Workload cost normalised by the column layout's cost (as a fraction).
+
+    Values below 1.0 mean the layout beats the column layout under this cost
+    model; Figure 9 plots this (as a percentage) against the buffer size.
+    """
+    column_cost = cost_model.workload_cost(
+        workload, column_partitioning(workload.schema)
+    )
+    if column_cost <= 0.0:
+        return 0.0
+    return cost_model.workload_cost(workload, partitioning) / column_cost

@@ -1,0 +1,40 @@
+"""Pay-off metric (Appendix A.1, Figure 10).
+
+The pay-off expresses how much of the workload has to run before the time
+invested in vertical partitioning (optimisation time plus layout creation
+time) is recovered by the workload runtime improvement over a baseline:
+
+``pay-off = (optimization_time + creation_time) / improvement``
+
+where ``improvement = cost(baseline) - cost(layout)`` for one execution of the
+workload.  A pay-off of 0.25 means a quarter of one workload execution
+suffices (the paper's result against Row); a pay-off of 44.5 means the whole
+workload must run 44.5 times (AutoPart against Column).  Negative values mean
+the layout never pays off because it is worse than the baseline (Navathe and
+O2P against Column).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def payoff_fraction(
+    optimization_time: float,
+    creation_time: float,
+    baseline_cost: float,
+    layout_cost: float,
+) -> float:
+    """Fraction (or multiple) of the workload needed to amortise the investment.
+
+    Returns ``math.inf`` if the layout's cost equals the baseline exactly
+    (no improvement, nothing ever pays off), and a negative number if the
+    layout is worse than the baseline.
+    """
+    if optimization_time < 0 or creation_time < 0:
+        raise ValueError("times must be non-negative")
+    improvement = baseline_cost - layout_cost
+    invested = optimization_time + creation_time
+    if improvement == 0.0:
+        return math.inf
+    return invested / improvement

@@ -1,0 +1,113 @@
+""""How good" metrics: data read, reconstruction joins, improvements, PMV distance.
+
+These are the derived measures behind Figures 3–7 and Tables 3–6 of the paper:
+
+* ``unnecessary_data_fraction`` — Figure 4: the share of bytes read that no
+  query needed (``(read - needed) / read``).
+* ``average_reconstruction_joins`` — Figure 5 and Table 4: the number of
+  tuple-reconstruction joins per tuple, i.e. referenced partitions minus one,
+  averaged over queries.
+* ``improvement_over`` — the relative improvement of a layout over a baseline
+  cost (used against Row and Column, Figures 3 and 7, Tables 5 and 6).
+* ``distance_from_pmv`` — Figure 6: how far a layout's cost is from the cost
+  of perfect materialised views.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algorithms.baselines import PerfectMaterializedViews
+from repro.core.partitioning import Partitioning
+from repro.cost.base import CostModel
+from repro.workload.workload import Workload
+
+
+def bytes_read(
+    workload: Workload, partitioning: Partitioning, weighted: bool = True
+) -> float:
+    """Total bytes read by the workload under ``partitioning``.
+
+    Every referenced partition is read in full (whole column-group files, as
+    per the unified storage setting).  Uses logical bytes (row width x row
+    count) rather than block-rounded bytes so the measure is independent of
+    the disk's block size.
+    """
+    schema = partitioning.schema
+    total = 0.0
+    for query in workload:
+        weight = query.weight if weighted else 1.0
+        referenced = partitioning.referenced_partitions(query)
+        row_bytes = sum(partition.row_size(schema) for partition in referenced)
+        total += weight * row_bytes * schema.row_count
+    return total
+
+
+def bytes_needed(
+    workload: Workload, partitioning: Partitioning, weighted: bool = True
+) -> float:
+    """Bytes the workload actually needs (referenced attributes only)."""
+    schema = partitioning.schema
+    total = 0.0
+    for query in workload:
+        weight = query.weight if weighted else 1.0
+        needed_width = sum(schema.width_of(index) for index in query.attribute_indices)
+        total += weight * needed_width * schema.row_count
+    return total
+
+
+def unnecessary_data_fraction(workload: Workload, partitioning: Partitioning) -> float:
+    """Fraction of the data read that was not needed by any query (Figure 4)."""
+    read = bytes_read(workload, partitioning)
+    if read <= 0.0:
+        return 0.0
+    needed = bytes_needed(workload, partitioning)
+    return max(0.0, (read - needed) / read)
+
+
+def average_reconstruction_joins(
+    workload: Workload, partitioning: Partitioning
+) -> float:
+    """Average number of tuple-reconstruction joins per tuple (Figure 5).
+
+    For each query the number of joins is the number of referenced partitions
+    minus one; the result is the weighted average over queries.
+    """
+    total_weight = workload.total_weight
+    if total_weight <= 0.0:
+        return 0.0
+    joins = 0.0
+    for query in workload:
+        referenced = partitioning.referenced_partitions(query)
+        joins += query.weight * max(0, len(referenced) - 1)
+    return joins / total_weight
+
+
+def improvement_over(baseline_cost: float, layout_cost: float) -> float:
+    """Relative improvement of a layout over a baseline: (base - cost) / base.
+
+    Positive values mean the layout is cheaper than the baseline; negative
+    values mean it is worse (e.g. Navathe and O2P against Column in Table 5).
+    """
+    if baseline_cost <= 0.0:
+        return 0.0
+    return (baseline_cost - layout_cost) / baseline_cost
+
+
+def distance_from_pmv(
+    workload: Workload,
+    partitioning: Partitioning,
+    cost_model: CostModel,
+    pmv_cost: Optional[float] = None,
+) -> float:
+    """Relative distance of a layout's cost from perfect materialised views.
+
+    ``(cost(layout) - cost(PMV)) / cost(PMV)`` — Figure 6.  ``pmv_cost`` can
+    be supplied to avoid recomputing the PMV reference in sweeps.
+    """
+    if pmv_cost is None:
+        pmv_cost = PerfectMaterializedViews().workload_cost(workload, cost_model)
+    if pmv_cost <= 0.0:
+        return 0.0
+    layout_cost = cost_model.workload_cost(workload, partitioning)
+    return (layout_cost - pmv_cost) / pmv_cost

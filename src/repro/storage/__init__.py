@@ -1,0 +1,46 @@
+"""Block-level storage simulator.
+
+The paper evaluates algorithms with an analytical cost model because no freely
+available DBMS can scan vertically partitioned tables without tuple
+reconstruction joins distorting the measurement.  This package provides the
+substrate such an evaluation would otherwise need:
+
+* :mod:`repro.storage.data` — deterministic synthetic data generation for any
+  :class:`~repro.workload.schema.TableSchema` (used instead of ``dbgen``).
+* :mod:`repro.storage.pages` — fixed-size pages holding rows of one column
+  group, mirroring the "each data page contains data from only a single
+  vertical partition" storage setting.
+* :mod:`repro.storage.engine` — a simulated disk plus a scan executor that
+  *counts* blocks read, seeks performed and bytes transferred for a query over
+  a partitioned table; used to validate the analytical HDD cost model.
+* :mod:`repro.storage.compression` — the varying-length (LZO-like) and
+  fixed-width dictionary encodings needed for the DBMS-X experiment.
+* :mod:`repro.storage.dbms_x` — a simulated disk-based column-grouping DBMS
+  used to regenerate Table 7.
+"""
+
+from repro.storage.data import generate_table_data
+from repro.storage.pages import Page, PagedFile
+from repro.storage.engine import ScanStatistics, SimulatedDisk, StorageEngine
+from repro.storage.compression import (
+    CompressionScheme,
+    DictionaryCompression,
+    NoCompression,
+    VaryingLengthCompression,
+)
+from repro.storage.dbms_x import DbmsX, DbmsXConfig
+
+__all__ = [
+    "generate_table_data",
+    "Page",
+    "PagedFile",
+    "SimulatedDisk",
+    "StorageEngine",
+    "ScanStatistics",
+    "CompressionScheme",
+    "NoCompression",
+    "VaryingLengthCompression",
+    "DictionaryCompression",
+    "DbmsX",
+    "DbmsXConfig",
+]

@@ -1,0 +1,140 @@
+"""DBMS-X: a simulated disk-based column-grouping DBMS (Table 7).
+
+The paper's final experiment loads TPC-H (scale factor 10) into a commercial
+column store ("DBMS-X") twice — once in pure column layout and once in the
+vertically partitioned layout computed by HillClimb — and runs the unmodified
+TPC-H workload under the system's default varying-length compression and again
+with dictionary compression forced.  The observed shape is:
+
+* Row ≫ Column and Row ≫ HillClimb for both compression schemes,
+* Column beats HillClimb under the default varying-length compression (tuple
+  reconstruction inside varying-length column groups is expensive), and
+* the gap narrows — but does not flip — under fixed-width dictionary encoding.
+
+We cannot run a proprietary engine, so ``DbmsX`` recreates the setting on top
+of the storage simulator: compression determines the *effective* row widths of
+each column group (less data to scan) and the reconstruction penalty
+(varying-length groups pay extra CPU per tuple), and the simulated scans do
+the rest.  Query 9 is excluded exactly as in the paper (the original
+measurement discarded it because of a pathological plan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.partitioning import Partitioning
+from repro.cost.disk import DEFAULT_DISK, DiskCharacteristics
+from repro.storage.compression import (
+    CompressionScheme,
+    DictionaryCompression,
+    VaryingLengthCompression,
+)
+from repro.storage.engine import ScanStatistics, SimulatedDisk, StorageEngine
+from repro.workload.workload import Workload
+
+#: The query the paper excludes from the DBMS-X measurement.
+EXCLUDED_QUERIES = frozenset({"Q9"})
+
+
+@dataclass
+class DbmsXConfig:
+    """Configuration of the simulated DBMS-X instance."""
+
+    disk: DiskCharacteristics = DEFAULT_DISK
+    compression: CompressionScheme = field(default_factory=VaryingLengthCompression)
+    excluded_queries: frozenset = EXCLUDED_QUERIES
+    #: Per-tuple-per-attribute cost (seconds) of reconstructing tuples *inside*
+    #: a multi-attribute column group.  Varying-length encodings must chase
+    #: per-value offsets; fixed-size dictionary codes use plain array
+    #: arithmetic and pay roughly a quarter of that.  Single-attribute groups
+    #: (pure columns) pay nothing — this is what makes the column layout win
+    #: inside DBMS-X even though the I/O cost model favours column grouping.
+    varying_length_decode_cost: float = 5.0e-8
+    dictionary_decode_cost: float = 2.0e-8
+
+
+class DbmsX:
+    """A compressing, column-grouping DBMS simulated at the I/O level."""
+
+    def __init__(self, config: Optional[DbmsXConfig] = None) -> None:
+        self.config = config or DbmsXConfig()
+
+    def load(self, partitioning: Partitioning) -> StorageEngine:
+        """Load one table in the given layout, applying compression.
+
+        The effective row width of each column group is the sum of its
+        columns' compressed widths; the reconstruction penalty reflects
+        whether the encoding is fixed-width.
+        """
+        schema = partitioning.schema
+        compression = self.config.compression
+        overrides: Dict[int, float] = {}
+        for index, partition in enumerate(partitioning.partitions):
+            effective = sum(
+                compression.effective_width(schema.column_at(attribute))
+                for attribute in partition.sorted_attributes()
+            )
+            overrides[index] = max(1.0, effective)
+        return StorageEngine(
+            partitioning=partitioning,
+            disk=SimulatedDisk(self.config.disk),
+            row_size_overrides=overrides,
+            reconstruction_penalty=compression.reconstruction_penalty,
+        )
+
+    def run_workload(
+        self, workload: Workload, partitioning: Partitioning
+    ) -> ScanStatistics:
+        """Run the workload (minus excluded queries) against one layout."""
+        engine = self.load(partitioning)
+        kept = [
+            query for query in workload if query.name not in self.config.excluded_queries
+        ]
+        if not kept:
+            return ScanStatistics()
+        filtered = Workload(workload.schema, kept, name=f"{workload.name}-dbmsx")
+        stats = engine.scan_workload(filtered)
+        stats.cpu_seconds += self._decode_cost(filtered, partitioning)
+        return stats
+
+    def run_benchmark(
+        self,
+        workloads: Dict[str, Workload],
+        layouts: Dict[str, Partitioning],
+    ) -> float:
+        """Total simulated runtime of a benchmark: one layout per table."""
+        total = 0.0
+        for table, workload in workloads.items():
+            if table not in layouts:
+                raise KeyError(f"no layout supplied for table {table!r}")
+            total += self.run_workload(workload, layouts[table]).elapsed_seconds
+        return total
+
+    # -- internals ---------------------------------------------------------------
+
+    def _decode_cost(self, workload: Workload, partitioning: Partitioning) -> float:
+        """CPU cost of reconstructing tuples inside multi-attribute column groups.
+
+        A pure column (single-attribute group) scans as a flat array and pays
+        nothing.  A multi-attribute group must materialise each row from its
+        encoded values: with varying-length encoding every value requires an
+        offset lookup, with fixed-size dictionary codes the lookup is simple
+        arithmetic and costs a fraction of that.  This intra-group
+        reconstruction is what makes wide column groups comparatively
+        expensive inside DBMS-X even though the I/O cost model favours them.
+        """
+        if self.config.compression.is_fixed_width():
+            per_value = self.config.dictionary_decode_cost
+        else:
+            per_value = self.config.varying_length_decode_cost
+        schema = workload.schema
+        total = 0.0
+        for query in workload:
+            referenced = partitioning.referenced_partitions(query)
+            attributes_in_groups = sum(
+                len(partition) for partition in referenced if len(partition) > 1
+            )
+            total += query.weight * attributes_in_groups * schema.row_count * per_value
+        return total

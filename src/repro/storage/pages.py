@@ -1,0 +1,116 @@
+"""Pages and paged column-group files.
+
+The unified storage setting of the paper stores each vertical partition
+(column group) in its own file of fixed-size pages; a page never mixes data
+from two partitions.  ``PagedFile`` models one such file: it knows how many
+rows fit a page given the group's row width and exposes the page count — the
+quantity both the analytical cost model and the simulated scans are built on.
+
+Pages hold row identifiers rather than actual bytes: the simulator's purpose
+is to count I/O, not to store payloads, so keeping only bookkeeping data lets
+it scale to millions of rows without materialising gigabytes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+
+class PageLayoutError(ValueError):
+    """Raised when a page/file layout parameter is invalid."""
+
+
+@dataclass(frozen=True)
+class Page:
+    """One fixed-size page of a column-group file.
+
+    Attributes
+    ----------
+    index:
+        Position of the page within its file.
+    first_row / row_count:
+        The contiguous range of row identifiers stored in this page.
+    """
+
+    index: int
+    first_row: int
+    row_count: int
+
+    @property
+    def last_row(self) -> int:
+        """Identifier of the last row stored in the page (inclusive)."""
+        return self.first_row + self.row_count - 1
+
+    def contains_row(self, row_id: int) -> bool:
+        """True if ``row_id`` is stored in this page."""
+        return self.first_row <= row_id <= self.last_row
+
+
+@dataclass
+class PagedFile:
+    """A column-group file: rows of one vertical partition packed into pages.
+
+    Parameters
+    ----------
+    name:
+        File name, e.g. ``"lineitem.P1"``.
+    row_size:
+        Width in bytes of one row of the column group (after compression, if
+        any — the caller passes the effective width).
+    row_count:
+        Number of rows stored.
+    page_size:
+        Page/block size in bytes.
+    """
+
+    name: str
+    row_size: int
+    row_count: int
+    page_size: int
+
+    def __post_init__(self) -> None:
+        if self.row_size <= 0:
+            raise PageLayoutError("row_size must be positive")
+        if self.page_size <= 0:
+            raise PageLayoutError("page_size must be positive")
+        if self.row_count < 0:
+            raise PageLayoutError("row_count must be non-negative")
+
+    @property
+    def rows_per_page(self) -> int:
+        """Rows stored per page (at least 1; wide rows span pages logically)."""
+        return max(1, self.page_size // self.row_size)
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages the file occupies."""
+        if self.row_count == 0:
+            return 0
+        return math.ceil(self.row_count / self.rows_per_page)
+
+    @property
+    def size_in_bytes(self) -> int:
+        """Total on-disk size (pages are allocated whole)."""
+        return self.page_count * self.page_size
+
+    def page_of_row(self, row_id: int) -> int:
+        """Index of the page holding ``row_id``."""
+        if not 0 <= row_id < self.row_count:
+            raise PageLayoutError(
+                f"row {row_id} outside [0, {self.row_count}) in file {self.name!r}"
+            )
+        return row_id // self.rows_per_page
+
+    def pages(self) -> Iterator[Page]:
+        """Iterate over the file's pages in order."""
+        rows_per_page = self.rows_per_page
+        for index in range(self.page_count):
+            first_row = index * rows_per_page
+            count = min(rows_per_page, self.row_count - first_row)
+            yield Page(index=index, first_row=first_row, row_count=count)
+
+    def pages_for_rows(self, row_ids: Sequence[int]) -> List[int]:
+        """Distinct page indices needed to read the given rows, in order."""
+        return sorted({self.page_of_row(row_id) for row_id in row_ids})

@@ -1,0 +1,33 @@
+"""Workload model: table schemas, queries, and benchmark workloads.
+
+This package provides the inputs a vertical partitioning algorithm works on:
+
+* :class:`~repro.workload.schema.Column` and
+  :class:`~repro.workload.schema.TableSchema` describe a logical relation
+  (attribute names, byte widths, row count).
+* :class:`~repro.workload.query.Query` describes one query's attribute
+  footprint on one table, together with its weight (frequency).
+* :class:`~repro.workload.workload.Workload` bundles queries against a single
+  table and exposes the derived structures the algorithms need (usage matrix,
+  affinity matrix, primary partitions).
+
+Concrete benchmark workloads live in :mod:`repro.workload.tpch` (the 22-query
+TPC-H benchmark used throughout the paper), :mod:`repro.workload.ssb` (the
+Star Schema Benchmark used in Table 5) and :mod:`repro.workload.synthetic`
+(random workload generators used by the test suite).
+"""
+
+from repro.workload.schema import Column, TableSchema
+from repro.workload.query import Query
+from repro.workload.workload import Workload
+from repro.workload import tpch, ssb, synthetic
+
+__all__ = [
+    "Column",
+    "TableSchema",
+    "Query",
+    "Workload",
+    "tpch",
+    "ssb",
+    "synthetic",
+]

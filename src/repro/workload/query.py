@@ -1,0 +1,136 @@
+"""Queries as attribute footprints.
+
+The paper's unified setting considers only scan and projection operators: a
+query is fully described, for partitioning purposes, by the set of attributes
+it references on a given table plus how often it runs.  ``Query`` captures
+exactly that.  Attributes may be given by name (resolved against a
+:class:`~repro.workload.schema.TableSchema` when building a
+:class:`~repro.workload.workload.Workload`) or directly by positional index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from repro.workload.schema import TableSchema
+
+
+class QueryError(ValueError):
+    """Raised when a query definition is inconsistent."""
+
+
+@dataclass(frozen=True)
+class Query:
+    """One query's footprint on one table.
+
+    Parameters
+    ----------
+    name:
+        Identifier, e.g. ``"Q6"``.
+    attributes:
+        Names of the attributes the query references (projection plus
+        predicate attributes — the paper counts every referenced attribute).
+    weight:
+        Relative frequency of the query in the workload.  The estimated
+        workload cost is the weighted sum of per-query costs.
+    selectivity:
+        Fraction of rows the query's predicates select.  The paper's cost
+        model ignores selectivity (scan-only I/O costs); it is kept so that
+        the storage simulator and future extensions can use it.
+    """
+
+    name: str
+    attributes: FrozenSet[str]
+    weight: float = 1.0
+    selectivity: float = 1.0
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Iterable[str],
+        weight: float = 1.0,
+        selectivity: float = 1.0,
+    ) -> None:
+        attribute_set = frozenset(attributes)
+        if not name:
+            raise QueryError("query name must be non-empty")
+        if not attribute_set:
+            raise QueryError(f"query {name!r} must reference at least one attribute")
+        if weight <= 0:
+            raise QueryError(f"query {name!r} must have a positive weight")
+        if not 0.0 < selectivity <= 1.0:
+            raise QueryError(
+                f"query {name!r} selectivity must be in (0, 1], got {selectivity}"
+            )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", attribute_set)
+        object.__setattr__(self, "weight", float(weight))
+        object.__setattr__(self, "selectivity", float(selectivity))
+
+    def resolve(self, schema: TableSchema) -> "ResolvedQuery":
+        """Bind the query to a schema, translating names to indices."""
+        indices = schema.indices_of(self.attributes)
+        return ResolvedQuery(
+            name=self.name,
+            attribute_indices=indices,
+            weight=self.weight,
+            selectivity=self.selectivity,
+        )
+
+    def references(self, attribute: str) -> bool:
+        """True if the query touches ``attribute``."""
+        return attribute in self.attributes
+
+    def with_weight(self, weight: float) -> "Query":
+        """Return a copy with a different weight."""
+        return Query(
+            name=self.name,
+            attributes=self.attributes,
+            weight=weight,
+            selectivity=self.selectivity,
+        )
+
+
+@dataclass(frozen=True)
+class ResolvedQuery:
+    """A query whose attributes have been resolved to positional indices."""
+
+    name: str
+    attribute_indices: Tuple[int, ...]
+    weight: float = 1.0
+    selectivity: float = 1.0
+    _index_set: FrozenSet[int] = field(default=frozenset(), compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_index_set", frozenset(self.attribute_indices))
+
+    @property
+    def index_set(self) -> FrozenSet[int]:
+        """The referenced indices as a frozenset (cached)."""
+        return self._index_set
+
+    def references_index(self, index: int) -> bool:
+        """True if the query touches the attribute at ``index``."""
+        return index in self._index_set
+
+    def references_any(self, indices: Iterable[int]) -> bool:
+        """True if the query touches any of ``indices``."""
+        return any(index in self._index_set for index in indices)
+
+    def referenced_subset(self, indices: Iterable[int]) -> FrozenSet[int]:
+        """The subset of ``indices`` the query actually references."""
+        return self._index_set.intersection(indices)
+
+    def __len__(self) -> int:
+        return len(self.attribute_indices)
+
+
+def make_query(
+    name: str,
+    attributes: Iterable[str],
+    weight: float = 1.0,
+    selectivity: float = 1.0,
+) -> Query:
+    """Convenience constructor mirroring :class:`Query`'s signature."""
+    return Query(name=name, attributes=attributes, weight=weight, selectivity=selectivity)

@@ -1,0 +1,240 @@
+"""Logical table schemas.
+
+A vertical partitioning algorithm only needs three facts about a table: the
+names of its attributes, their byte widths (the width a row of a column group
+occupies on disk or in memory), and the number of rows.  ``TableSchema``
+captures exactly that and nothing else, so the same schema object can feed the
+analytical cost models, the storage simulator and the algorithms themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+
+#: Byte widths used for the common SQL data types.  The values follow the
+#: fixed-width encoding assumed by the paper's cost model: fixed-size numeric
+#: and date types use their natural binary width, character types use their
+#: declared maximum length.
+TYPE_WIDTHS = {
+    "int": 4,
+    "integer": 4,
+    "bigint": 8,
+    "decimal": 8,
+    "double": 8,
+    "float": 8,
+    "date": 4,
+    "bool": 1,
+    "char": 1,
+}
+
+
+class SchemaError(ValueError):
+    """Raised when a schema definition is inconsistent."""
+
+
+@dataclass(frozen=True)
+class Column:
+    """One attribute of a logical relation.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, unique within its table.
+    width:
+        Number of bytes one value of this attribute occupies in a stored row
+        of a column group.
+    sql_type:
+        Optional human-readable SQL type, kept for documentation and for the
+        storage simulator's data generator.
+    """
+
+    name: str
+    width: int
+    sql_type: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+        if self.width <= 0:
+            raise SchemaError(
+                f"column {self.name!r} must have a positive width, got {self.width}"
+            )
+
+    @classmethod
+    def of_type(cls, name: str, sql_type: str, length: int = 1) -> "Column":
+        """Build a column from a SQL type name.
+
+        ``char``/``varchar`` types multiply the base width by ``length``; all
+        other types ignore ``length``.
+        """
+        base = sql_type.lower().split("(")[0].strip()
+        if base in ("char", "varchar", "text", "string"):
+            width = max(1, length)
+            return cls(name=name, width=width, sql_type=f"{base}({length})")
+        if base not in TYPE_WIDTHS:
+            raise SchemaError(f"unknown SQL type {sql_type!r} for column {name!r}")
+        return cls(name=name, width=TYPE_WIDTHS[base], sql_type=base)
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A logical relation: an ordered list of columns plus a row count.
+
+    The attribute order is significant only as a canonical naming order;
+    algorithms are free to permute attributes (Navathe and O2P do exactly
+    that via affinity clustering).
+    """
+
+    name: str
+    columns: Tuple[Column, ...]
+    row_count: int
+
+    def __init__(self, name: str, columns: Sequence[Column], row_count: int) -> None:
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        if row_count < 0:
+            raise SchemaError(f"table {name!r} must have a non-negative row count")
+        names = [column.name for column in columns]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SchemaError(
+                f"table {name!r} has duplicate column names: {sorted(duplicates)}"
+            )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "columns", tuple(columns))
+        object.__setattr__(self, "row_count", int(row_count))
+
+    # -- basic introspection ------------------------------------------------
+
+    @property
+    def attribute_count(self) -> int:
+        """Number of attributes in the table."""
+        return len(self.columns)
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        """Attribute names in schema order."""
+        return tuple(column.name for column in self.columns)
+
+    @property
+    def row_size(self) -> int:
+        """Width in bytes of a full row (all attributes)."""
+        return sum(column.width for column in self.columns)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total size of the table in bytes under a row layout."""
+        return self.row_size * self.row_count
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    # -- lookups ------------------------------------------------------------
+
+    def index_of(self, attribute: str) -> int:
+        """Return the positional index of ``attribute``.
+
+        Raises :class:`SchemaError` if the attribute does not exist, naming
+        the table to make workload-definition typos easy to locate.
+        """
+        for index, column in enumerate(self.columns):
+            if column.name == attribute:
+                return index
+        raise SchemaError(f"table {self.name!r} has no attribute {attribute!r}")
+
+    def indices_of(self, attributes: Iterable[str]) -> Tuple[int, ...]:
+        """Map attribute names to a sorted tuple of positional indices."""
+        return tuple(sorted(self.index_of(attribute) for attribute in attributes))
+
+    def column_at(self, index: int) -> Column:
+        """Return the column at positional ``index``."""
+        return self.columns[index]
+
+    def width_of(self, index: int) -> int:
+        """Byte width of the attribute at positional ``index``."""
+        return self.columns[index].width
+
+    def widths(self) -> Tuple[int, ...]:
+        """Byte widths of all attributes in schema order."""
+        return tuple(column.width for column in self.columns)
+
+    def subset_row_size(self, indices: Iterable[int]) -> int:
+        """Row width of the column group formed by ``indices``."""
+        return sum(self.columns[index].width for index in indices)
+
+    # -- derived schemas ----------------------------------------------------
+
+    def scaled(self, factor: float) -> "TableSchema":
+        """Return a copy with the row count scaled by ``factor``.
+
+        Used to emulate different TPC-H scale factors without regenerating
+        workloads; small dimension tables round up to at least one row.
+        """
+        if factor <= 0:
+            raise SchemaError("scale factor must be positive")
+        return TableSchema(
+            name=self.name,
+            columns=self.columns,
+            row_count=max(1, int(round(self.row_count * factor))),
+        )
+
+    def with_row_count(self, row_count: int) -> "TableSchema":
+        """Return a copy with an explicit row count."""
+        return TableSchema(name=self.name, columns=self.columns, row_count=row_count)
+
+    def describe(self) -> str:
+        """Human-readable, one-line-per-column description."""
+        lines = [f"{self.name} ({self.row_count:,} rows, {self.row_size} B/row)"]
+        for index, column in enumerate(self.columns):
+            lines.append(f"  [{index:2d}] {column.name:<20s} {column.width:>4d} B")
+        return "\n".join(lines)
+
+
+@dataclass
+class Database:
+    """A named collection of tables, e.g. the whole TPC-H schema.
+
+    The paper partitions each table independently ("we partition each table
+    in TPC-H separately"), so the database object is mostly a convenience
+    container used by the experiment drivers.
+    """
+
+    name: str
+    tables: Dict[str, TableSchema] = field(default_factory=dict)
+
+    def add(self, table: TableSchema) -> None:
+        """Register a table; raises if the name is already taken."""
+        if table.name in self.tables:
+            raise SchemaError(f"database {self.name!r} already has table {table.name!r}")
+        self.tables[table.name] = table
+
+    def table(self, name: str) -> TableSchema:
+        """Return the table called ``name``."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(f"database {self.name!r} has no table {name!r}") from None
+
+    def table_names(self) -> List[str]:
+        """Names of all tables in insertion order."""
+        return list(self.tables)
+
+    def scaled(self, factor: float) -> "Database":
+        """Scale all tables' row counts; fixed-size tables are handled by callers."""
+        scaled = Database(name=self.name)
+        for table in self.tables.values():
+            scaled.add(table.scaled(factor))
+        return scaled
+
+    def __iter__(self) -> Iterator[TableSchema]:
+        return iter(self.tables.values())
+
+    def __len__(self) -> int:
+        return len(self.tables)

@@ -1,0 +1,365 @@
+"""TPC-H schema and workload, as used throughout the paper.
+
+The paper evaluates the partitioning algorithms on the TPC-H benchmark at
+scale factor 10, taking all 22 queries but considering only scan and
+projection operators.  For vertical partitioning purposes a query is therefore
+its *attribute footprint*: every attribute it references in the SELECT list,
+WHERE/JOIN predicates, GROUP BY or ORDER BY clauses of a given table.
+
+This module encodes
+
+* the eight TPC-H table schemas with fixed byte widths (numeric/date types use
+  their binary width, character types their declared maximum length), and
+* the per-table footprints of queries Q1–Q22, transcribed from the TPC-H
+  specification.
+
+Scale factors scale the row counts of all tables except ``nation`` and
+``region``, whose cardinalities are fixed by the benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.workload.query import Query
+from repro.workload.schema import Column, Database, TableSchema
+from repro.workload.workload import Workload
+
+#: Tables whose row counts do not change with the scale factor.
+FIXED_SIZE_TABLES = frozenset({"nation", "region"})
+
+#: Base row counts at scale factor 1.
+_BASE_ROW_COUNTS = {
+    "lineitem": 6_001_215,
+    "orders": 1_500_000,
+    "partsupp": 800_000,
+    "part": 200_000,
+    "customer": 150_000,
+    "supplier": 10_000,
+    "nation": 25,
+    "region": 5,
+}
+
+#: (name, sql type, length) per table, in schema order.
+_TABLE_COLUMNS: Dict[str, Sequence] = {
+    "lineitem": [
+        ("orderkey", "int", 0),
+        ("partkey", "int", 0),
+        ("suppkey", "int", 0),
+        ("linenumber", "int", 0),
+        ("quantity", "decimal", 0),
+        ("extendedprice", "decimal", 0),
+        ("discount", "decimal", 0),
+        ("tax", "decimal", 0),
+        ("returnflag", "char", 1),
+        ("linestatus", "char", 1),
+        ("shipdate", "date", 0),
+        ("commitdate", "date", 0),
+        ("receiptdate", "date", 0),
+        ("shipinstruct", "char", 25),
+        ("shipmode", "char", 10),
+        ("comment", "varchar", 44),
+    ],
+    "orders": [
+        ("orderkey", "int", 0),
+        ("custkey", "int", 0),
+        ("orderstatus", "char", 1),
+        ("totalprice", "decimal", 0),
+        ("orderdate", "date", 0),
+        ("orderpriority", "char", 15),
+        ("clerk", "char", 15),
+        ("shippriority", "int", 0),
+        ("comment", "varchar", 79),
+    ],
+    "customer": [
+        ("custkey", "int", 0),
+        ("name", "varchar", 25),
+        ("address", "varchar", 40),
+        ("nationkey", "int", 0),
+        ("phone", "char", 15),
+        ("acctbal", "decimal", 0),
+        ("mktsegment", "char", 10),
+        ("comment", "varchar", 117),
+    ],
+    "part": [
+        ("partkey", "int", 0),
+        ("name", "varchar", 55),
+        ("mfgr", "char", 25),
+        ("brand", "char", 10),
+        ("type", "varchar", 25),
+        ("size", "int", 0),
+        ("container", "char", 10),
+        ("retailprice", "decimal", 0),
+        ("comment", "varchar", 23),
+    ],
+    "partsupp": [
+        ("partkey", "int", 0),
+        ("suppkey", "int", 0),
+        ("availqty", "int", 0),
+        ("supplycost", "decimal", 0),
+        ("comment", "varchar", 199),
+    ],
+    "supplier": [
+        ("suppkey", "int", 0),
+        ("name", "char", 25),
+        ("address", "varchar", 40),
+        ("nationkey", "int", 0),
+        ("phone", "char", 15),
+        ("acctbal", "decimal", 0),
+        ("comment", "varchar", 101),
+    ],
+    "nation": [
+        ("nationkey", "int", 0),
+        ("name", "char", 25),
+        ("regionkey", "int", 0),
+        ("comment", "varchar", 152),
+    ],
+    "region": [
+        ("regionkey", "int", 0),
+        ("name", "char", 25),
+        ("comment", "varchar", 152),
+    ],
+}
+
+#: Attribute footprints of the 22 TPC-H queries, per table.  A query appears
+#: under a table only if it references at least one of that table's attributes.
+TPCH_QUERY_FOOTPRINTS: Dict[str, Dict[str, List[str]]] = {
+    "Q1": {
+        "lineitem": [
+            "quantity", "extendedprice", "discount", "tax",
+            "returnflag", "linestatus", "shipdate",
+        ],
+    },
+    "Q2": {
+        "part": ["partkey", "mfgr", "size", "type"],
+        "supplier": [
+            "suppkey", "name", "address", "nationkey", "phone", "acctbal", "comment",
+        ],
+        "partsupp": ["partkey", "suppkey", "supplycost"],
+        "nation": ["nationkey", "name", "regionkey"],
+        "region": ["regionkey", "name"],
+    },
+    "Q3": {
+        "customer": ["custkey", "mktsegment"],
+        "orders": ["orderkey", "custkey", "orderdate", "shippriority"],
+        "lineitem": ["orderkey", "extendedprice", "discount", "shipdate"],
+    },
+    "Q4": {
+        "orders": ["orderkey", "orderdate", "orderpriority"],
+        "lineitem": ["orderkey", "commitdate", "receiptdate"],
+    },
+    "Q5": {
+        "customer": ["custkey", "nationkey"],
+        "orders": ["orderkey", "custkey", "orderdate"],
+        "lineitem": ["orderkey", "suppkey", "extendedprice", "discount"],
+        "supplier": ["suppkey", "nationkey"],
+        "nation": ["nationkey", "name", "regionkey"],
+        "region": ["regionkey", "name"],
+    },
+    "Q6": {
+        "lineitem": ["shipdate", "discount", "quantity", "extendedprice"],
+    },
+    "Q7": {
+        "supplier": ["suppkey", "nationkey"],
+        "lineitem": ["orderkey", "suppkey", "extendedprice", "discount", "shipdate"],
+        "orders": ["orderkey", "custkey"],
+        "customer": ["custkey", "nationkey"],
+        "nation": ["nationkey", "name"],
+    },
+    "Q8": {
+        "part": ["partkey", "type"],
+        "supplier": ["suppkey", "nationkey"],
+        "lineitem": ["partkey", "suppkey", "orderkey", "extendedprice", "discount"],
+        "orders": ["orderkey", "custkey", "orderdate"],
+        "customer": ["custkey", "nationkey"],
+        "nation": ["nationkey", "regionkey", "name"],
+        "region": ["regionkey", "name"],
+    },
+    "Q9": {
+        "part": ["partkey", "name"],
+        "supplier": ["suppkey", "nationkey"],
+        "lineitem": [
+            "partkey", "suppkey", "orderkey", "extendedprice", "discount", "quantity",
+        ],
+        "partsupp": ["partkey", "suppkey", "supplycost"],
+        "orders": ["orderkey", "orderdate"],
+        "nation": ["nationkey", "name"],
+    },
+    "Q10": {
+        "customer": [
+            "custkey", "name", "acctbal", "address", "phone", "comment", "nationkey",
+        ],
+        "orders": ["orderkey", "custkey", "orderdate"],
+        "lineitem": ["orderkey", "extendedprice", "discount", "returnflag"],
+        "nation": ["nationkey", "name"],
+    },
+    "Q11": {
+        "partsupp": ["partkey", "suppkey", "availqty", "supplycost"],
+        "supplier": ["suppkey", "nationkey"],
+        "nation": ["nationkey", "name"],
+    },
+    "Q12": {
+        "orders": ["orderkey", "orderpriority"],
+        "lineitem": ["orderkey", "shipmode", "commitdate", "shipdate", "receiptdate"],
+    },
+    "Q13": {
+        "customer": ["custkey"],
+        "orders": ["orderkey", "custkey", "comment"],
+    },
+    "Q14": {
+        "lineitem": ["partkey", "extendedprice", "discount", "shipdate"],
+        "part": ["partkey", "type"],
+    },
+    "Q15": {
+        "lineitem": ["suppkey", "extendedprice", "discount", "shipdate"],
+        "supplier": ["suppkey", "name", "address", "phone"],
+    },
+    "Q16": {
+        "partsupp": ["partkey", "suppkey"],
+        "part": ["partkey", "brand", "type", "size"],
+        "supplier": ["suppkey", "comment"],
+    },
+    "Q17": {
+        "lineitem": ["partkey", "quantity", "extendedprice"],
+        "part": ["partkey", "brand", "container"],
+    },
+    "Q18": {
+        "customer": ["custkey", "name"],
+        "orders": ["orderkey", "custkey", "orderdate", "totalprice"],
+        "lineitem": ["orderkey", "quantity"],
+    },
+    "Q19": {
+        "lineitem": [
+            "partkey", "quantity", "extendedprice", "discount",
+            "shipinstruct", "shipmode",
+        ],
+        "part": ["partkey", "brand", "container", "size"],
+    },
+    "Q20": {
+        "supplier": ["suppkey", "name", "address", "nationkey"],
+        "nation": ["nationkey", "name"],
+        "partsupp": ["partkey", "suppkey", "availqty"],
+        "part": ["partkey", "name"],
+        "lineitem": ["partkey", "suppkey", "quantity", "shipdate"],
+    },
+    "Q21": {
+        "supplier": ["suppkey", "name", "nationkey"],
+        "lineitem": ["orderkey", "suppkey", "receiptdate", "commitdate"],
+        "orders": ["orderkey", "orderstatus"],
+        "nation": ["nationkey", "name"],
+    },
+    "Q22": {
+        "customer": ["custkey", "phone", "acctbal"],
+        "orders": ["custkey"],
+    },
+}
+
+#: Canonical query order used for "first k queries" experiments.
+TPCH_QUERY_ORDER = tuple(f"Q{i}" for i in range(1, 23))
+
+#: The paper's default scale factor.
+DEFAULT_SCALE_FACTOR = 10.0
+
+
+def _row_count(table: str, scale_factor: float) -> int:
+    base = _BASE_ROW_COUNTS[table]
+    if table in FIXED_SIZE_TABLES:
+        return base
+    return max(1, int(round(base * scale_factor)))
+
+
+def table_schema(table: str, scale_factor: float = DEFAULT_SCALE_FACTOR) -> TableSchema:
+    """Schema of one TPC-H table at the given scale factor."""
+    if table not in _TABLE_COLUMNS:
+        raise KeyError(f"unknown TPC-H table {table!r}")
+    columns = [
+        Column.of_type(name, sql_type, length)
+        for name, sql_type, length in _TABLE_COLUMNS[table]
+    ]
+    return TableSchema(
+        name=table,
+        columns=columns,
+        row_count=_row_count(table, scale_factor),
+    )
+
+
+def tpch_database(scale_factor: float = DEFAULT_SCALE_FACTOR) -> Database:
+    """The full TPC-H schema as a :class:`~repro.workload.schema.Database`."""
+    database = Database(name=f"tpch-sf{scale_factor:g}")
+    for table in _TABLE_COLUMNS:
+        database.add(table_schema(table, scale_factor))
+    return database
+
+
+def table_names() -> List[str]:
+    """All TPC-H table names in canonical order."""
+    return list(_TABLE_COLUMNS)
+
+
+def queries_for_table(table: str) -> List[Query]:
+    """The TPC-H queries that touch ``table``, as per-table footprints."""
+    if table not in _TABLE_COLUMNS:
+        raise KeyError(f"unknown TPC-H table {table!r}")
+    queries = []
+    for query_name in TPCH_QUERY_ORDER:
+        footprint = TPCH_QUERY_FOOTPRINTS[query_name]
+        if table in footprint:
+            queries.append(Query(name=query_name, attributes=footprint[table]))
+    return queries
+
+
+def tpch_workload(
+    table: str,
+    scale_factor: float = DEFAULT_SCALE_FACTOR,
+    num_queries: int = 22,
+) -> Workload:
+    """Workload of one TPC-H table.
+
+    Parameters
+    ----------
+    table:
+        TPC-H table name, e.g. ``"lineitem"``.
+    scale_factor:
+        TPC-H scale factor; affects only the row count.
+    num_queries:
+        Keep only queries among the first ``num_queries`` of the canonical
+        Q1..Q22 order (the paper's "first k queries" experiments).
+    """
+    if not 1 <= num_queries <= 22:
+        raise ValueError("num_queries must be between 1 and 22")
+    allowed = set(TPCH_QUERY_ORDER[:num_queries])
+    queries = [q for q in queries_for_table(table) if q.name in allowed]
+    schema = table_schema(table, scale_factor)
+    if not queries:
+        # A table untouched by the first k queries still has a (trivial)
+        # workload; give it a single query touching its first attribute so the
+        # algorithms have something to work with.  Callers that care filter
+        # such tables out (see tpch_workloads).
+        queries = [Query(name="Q0", attributes=[schema.attribute_names[0]])]
+    return Workload(schema=schema, queries=queries, name=f"tpch-{table}")
+
+
+def tpch_workloads(
+    scale_factor: float = DEFAULT_SCALE_FACTOR,
+    num_queries: int = 22,
+) -> Dict[str, Workload]:
+    """Per-table workloads for every TPC-H table touched by the first k queries."""
+    allowed = set(TPCH_QUERY_ORDER[:num_queries])
+    workloads = {}
+    for table in _TABLE_COLUMNS:
+        queries = [q for q in queries_for_table(table) if q.name in allowed]
+        if not queries:
+            continue
+        schema = table_schema(table, scale_factor)
+        workloads[table] = Workload(
+            schema=schema, queries=queries, name=f"tpch-{table}"
+        )
+    return workloads
+
+
+def lineitem_workload(
+    scale_factor: float = DEFAULT_SCALE_FACTOR,
+    num_queries: int = 22,
+) -> Workload:
+    """Shorthand for the Lineitem workload used in Figures 7 and Tables 3/4."""
+    return tpch_workload("lineitem", scale_factor, num_queries)

@@ -1,0 +1,223 @@
+"""Workloads: a table schema plus the queries that run against it.
+
+``Workload`` is the central input object of the library.  It binds a
+:class:`~repro.workload.schema.TableSchema` with a list of
+:class:`~repro.workload.query.Query` objects and derives the structures the
+partitioning algorithms consume:
+
+* the attribute *usage matrix* (queries x attributes, 0/1),
+* the attribute *affinity matrix* (co-access counts weighted by frequency,
+  used by Navathe and O2P),
+* the *primary partitions* / *atomic fragments* (maximal groups of attributes
+  referenced by exactly the same set of queries, used by AutoPart and HYRISE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.workload.query import Query, QueryError, ResolvedQuery
+from repro.workload.schema import TableSchema
+
+
+class WorkloadError(ValueError):
+    """Raised when a workload definition is inconsistent."""
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A query workload over a single table.
+
+    The paper partitions each table of TPC-H independently, so a workload is
+    always per-table; multi-table benchmarks are represented as one workload
+    per table (see :func:`repro.workload.tpch.tpch_workloads`).
+    """
+
+    schema: TableSchema
+    queries: Tuple[ResolvedQuery, ...]
+    name: str = ""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        queries: Sequence[Query],
+        name: str = "",
+    ) -> None:
+        resolved: List[ResolvedQuery] = []
+        seen_names = set()
+        for query in queries:
+            if isinstance(query, ResolvedQuery):
+                resolved_query = query
+            elif isinstance(query, Query):
+                resolved_query = query.resolve(schema)
+            else:
+                raise WorkloadError(
+                    f"expected Query or ResolvedQuery, got {type(query).__name__}"
+                )
+            if resolved_query.name in seen_names:
+                raise WorkloadError(f"duplicate query name {resolved_query.name!r}")
+            seen_names.add(resolved_query.name)
+            max_index = max(resolved_query.attribute_indices, default=-1)
+            if max_index >= schema.attribute_count:
+                raise WorkloadError(
+                    f"query {resolved_query.name!r} references attribute index "
+                    f"{max_index} but table {schema.name!r} has only "
+                    f"{schema.attribute_count} attributes"
+                )
+            resolved.append(resolved_query)
+        object.__setattr__(self, "schema", schema)
+        object.__setattr__(self, "queries", tuple(resolved))
+        object.__setattr__(self, "name", name or f"{schema.name}-workload")
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def query_count(self) -> int:
+        """Number of queries in the workload."""
+        return len(self.queries)
+
+    @property
+    def attribute_count(self) -> int:
+        """Number of attributes in the underlying table."""
+        return self.schema.attribute_count
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of query weights."""
+        return sum(query.weight for query in self.queries)
+
+    def __iter__(self) -> Iterator[ResolvedQuery]:
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def query(self, name: str) -> ResolvedQuery:
+        """Return the query called ``name``."""
+        for query in self.queries:
+            if query.name == name:
+                return query
+        raise WorkloadError(f"workload {self.name!r} has no query {name!r}")
+
+    # -- derived structures ---------------------------------------------------
+
+    def usage_matrix(self) -> np.ndarray:
+        """Attribute usage matrix of shape (query_count, attribute_count).
+
+        ``usage[q, a]`` is 1 if query ``q`` references attribute ``a``.
+        An empty workload yields a (0, attribute_count) matrix.
+        """
+        matrix = np.zeros((self.query_count, self.attribute_count), dtype=np.int64)
+        for row, query in enumerate(self.queries):
+            for index in query.attribute_indices:
+                matrix[row, index] = 1
+        return matrix
+
+    def weights(self) -> np.ndarray:
+        """Query weights as a vector aligned with :meth:`usage_matrix` rows."""
+        return np.array([query.weight for query in self.queries], dtype=float)
+
+    def affinity_matrix(self) -> np.ndarray:
+        """Attribute affinity matrix (attribute_count x attribute_count).
+
+        Cell ``(i, j)`` is the summed weight of queries that reference both
+        attribute ``i`` and attribute ``j`` — the affinity measure of
+        Navathe et al. [15].  The diagonal holds each attribute's total
+        access weight.
+        """
+        usage = self.usage_matrix().astype(float)
+        if usage.size == 0:
+            return np.zeros((self.attribute_count, self.attribute_count))
+        weighted = usage * self.weights()[:, np.newaxis]
+        return weighted.T @ usage
+
+    def attribute_access_weights(self) -> np.ndarray:
+        """Per-attribute total access weight (diagonal of the affinity matrix)."""
+        usage = self.usage_matrix().astype(float)
+        if usage.size == 0:
+            return np.zeros(self.attribute_count)
+        return self.weights() @ usage
+
+    def referenced_attributes(self) -> FrozenSet[int]:
+        """Indices of attributes referenced by at least one query."""
+        referenced: set = set()
+        for query in self.queries:
+            referenced.update(query.attribute_indices)
+        return frozenset(referenced)
+
+    def unreferenced_attributes(self) -> FrozenSet[int]:
+        """Indices of attributes no query ever touches."""
+        return frozenset(range(self.attribute_count)) - self.referenced_attributes()
+
+    def primary_partitions(self) -> List[FrozenSet[int]]:
+        """Primary partitions (a.k.a. atomic fragments).
+
+        Two attributes belong to the same primary partition iff they are
+        referenced by exactly the same set of queries.  Attributes referenced
+        by no query form one additional fragment (they must still be stored).
+        The result is sorted by each fragment's smallest attribute index, so
+        it is deterministic.
+        """
+        signature_to_attributes: Dict[FrozenSet[str], set] = {}
+        for index in range(self.attribute_count):
+            signature = frozenset(
+                query.name for query in self.queries if query.references_index(index)
+            )
+            signature_to_attributes.setdefault(signature, set()).add(index)
+        fragments = [frozenset(group) for group in signature_to_attributes.values()]
+        return sorted(fragments, key=min)
+
+    def queries_referencing(self, indices: Iterable[int]) -> List[ResolvedQuery]:
+        """Queries that touch at least one attribute in ``indices``."""
+        index_set = set(indices)
+        return [query for query in self.queries if query.references_any(index_set)]
+
+    # -- workload slicing -----------------------------------------------------
+
+    def first(self, k: int) -> "Workload":
+        """Workload consisting of the first ``k`` queries (paper Figures 2, 7).
+
+        Queries that become empty projections on this table never existed in
+        the workload in the first place, so slicing is a plain prefix.
+        """
+        if k <= 0:
+            raise WorkloadError("first(k) requires k >= 1")
+        return Workload(
+            schema=self.schema,
+            queries=list(self.queries[:k]),
+            name=f"{self.name}[:{k}]",
+        )
+
+    def subset(self, names: Iterable[str]) -> "Workload":
+        """Workload restricted to the named queries, preserving order."""
+        wanted = set(names)
+        missing = wanted - {query.name for query in self.queries}
+        if missing:
+            raise WorkloadError(f"unknown query names: {sorted(missing)}")
+        kept = [query for query in self.queries if query.name in wanted]
+        return Workload(schema=self.schema, queries=kept, name=f"{self.name}-subset")
+
+    def with_schema(self, schema: TableSchema) -> "Workload":
+        """Rebind the same queries to a (typically rescaled) schema."""
+        if schema.attribute_names != self.schema.attribute_names:
+            raise WorkloadError(
+                "cannot rebind workload to a schema with different attributes"
+            )
+        return Workload(schema=schema, queries=list(self.queries), name=self.name)
+
+    def scaled(self, factor: float) -> "Workload":
+        """Same workload over a table scaled by ``factor``."""
+        return self.with_schema(self.schema.scaled(factor))
+
+    def describe(self) -> str:
+        """Human-readable summary: one line per query with its footprint."""
+        lines = [f"Workload {self.name!r} on {self.schema.name} "
+                 f"({self.query_count} queries, {self.attribute_count} attributes)"]
+        names = self.schema.attribute_names
+        for query in self.queries:
+            attrs = ", ".join(names[i] for i in query.attribute_indices)
+            lines.append(f"  {query.name:<6s} w={query.weight:<6g} [{attrs}]")
+        return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Shared fixtures for the test suite.
+
+Fixtures deliberately use small scale factors and narrow tables so the whole
+suite stays fast; the full-scale reproduction numbers are produced by the
+benchmark harnesses in ``benchmarks/`` instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.disk import DiskCharacteristics, MB
+from repro.cost.hdd import HDDCostModel
+from repro.cost.mainmemory import MainMemoryCostModel
+from repro.workload import tpch
+from repro.workload.query import Query
+from repro.workload.schema import Column, TableSchema
+from repro.workload.workload import Workload
+
+
+@pytest.fixture
+def small_schema() -> TableSchema:
+    """A five-attribute table mirroring the paper's PartSupp example."""
+    return TableSchema(
+        name="partsupp_small",
+        columns=[
+            Column("partkey", 4, "int"),
+            Column("suppkey", 4, "int"),
+            Column("availqty", 4, "int"),
+            Column("supplycost", 8, "decimal"),
+            Column("comment", 199, "varchar(199)"),
+        ],
+        row_count=100_000,
+    )
+
+
+@pytest.fixture
+def intro_workload(small_schema: TableSchema) -> Workload:
+    """The two-query workload from the paper's introduction (Q1 and Q2)."""
+    return Workload(
+        schema=small_schema,
+        queries=[
+            Query("Q1", ["partkey", "suppkey", "availqty", "supplycost"]),
+            Query("Q2", ["availqty", "supplycost", "comment"]),
+        ],
+        name="intro",
+    )
+
+
+@pytest.fixture
+def tiny_disk() -> DiskCharacteristics:
+    """Disk characteristics with a small buffer so seek effects are visible."""
+    return DiskCharacteristics(buffer_size=1 * MB)
+
+
+@pytest.fixture
+def hdd_model() -> HDDCostModel:
+    """The paper's default HDD cost model."""
+    return HDDCostModel()
+
+
+@pytest.fixture
+def mm_model() -> MainMemoryCostModel:
+    """The main-memory (cache miss) cost model."""
+    return MainMemoryCostModel()
+
+
+@pytest.fixture
+def partsupp_workload() -> Workload:
+    """The real TPC-H PartSupp workload at a small scale factor."""
+    return tpch.tpch_workload("partsupp", scale_factor=0.1)
+
+
+@pytest.fixture
+def customer_workload() -> Workload:
+    """The real TPC-H Customer workload at a small scale factor."""
+    return tpch.tpch_workload("customer", scale_factor=0.1)
+
+
+@pytest.fixture
+def lineitem_workload() -> Workload:
+    """The real TPC-H Lineitem workload at a small scale factor."""
+    return tpch.tpch_workload("lineitem", scale_factor=0.1)

@@ -1,0 +1,92 @@
+"""Integration tests: the analytical HDD cost model versus the storage simulator.
+
+The simulator counts blocks and seeks by actually walking the column-group
+files with a shared buffer; the analytical model predicts the same quantities
+with closed formulas.  They should agree closely (identical block counts; the
+seek counts may differ by the final partial refill per partition).
+"""
+
+import pytest
+
+from repro.core.partitioning import (
+    Partitioning,
+    column_partitioning,
+    row_partitioning,
+)
+from repro.cost.disk import DiskCharacteristics, KB, MB
+from repro.cost.hdd import HDDCostModel
+from repro.storage.engine import SimulatedDisk, StorageEngine
+from repro.workload import tpch
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return tpch.tpch_workload("partsupp", scale_factor=1)
+
+
+LAYOUT_BUILDERS = {
+    "row": lambda schema: row_partitioning(schema),
+    "column": lambda schema: column_partitioning(schema),
+    "grouped": lambda schema: Partitioning(schema, [[0, 1], [2, 3], [4]]),
+}
+
+
+@pytest.mark.parametrize("layout_name", sorted(LAYOUT_BUILDERS))
+class TestModelMatchesSimulator:
+    def test_block_counts_agree(self, workload, layout_name):
+        layout = LAYOUT_BUILDERS[layout_name](workload.schema)
+        disk = DiskCharacteristics()
+        model = HDDCostModel(disk)
+        engine = StorageEngine(layout, disk=SimulatedDisk(disk))
+        for query in workload:
+            referenced = layout.referenced_partitions(query)
+            predicted_blocks = sum(
+                model.blocks_on_disk(partition, layout) for partition in referenced
+            )
+            simulated = engine.scan_query(query)
+            assert simulated.blocks_read == predicted_blocks
+
+    def test_elapsed_time_close_to_predicted_cost(self, workload, layout_name):
+        layout = LAYOUT_BUILDERS[layout_name](workload.schema)
+        disk = DiskCharacteristics(buffer_size=1 * MB)
+        model = HDDCostModel(disk)
+        engine = StorageEngine(layout, disk=SimulatedDisk(disk))
+        for query in workload:
+            predicted = model.query_cost(query, layout)
+            simulated = engine.scan_query(query).io_seconds
+            assert simulated == pytest.approx(predicted, rel=0.15)
+
+    def test_workload_totals_close(self, workload, layout_name):
+        layout = LAYOUT_BUILDERS[layout_name](workload.schema)
+        disk = DiskCharacteristics()
+        model = HDDCostModel(disk)
+        engine = StorageEngine(layout, disk=SimulatedDisk(disk))
+        predicted = model.workload_cost(workload, layout)
+        simulated = engine.scan_workload(workload).io_seconds
+        assert simulated == pytest.approx(predicted, rel=0.15)
+
+
+class TestRelativeOrderings:
+    def test_simulator_agrees_on_row_vs_column_ordering(self, workload):
+        disk = DiskCharacteristics()
+        row_engine = StorageEngine(row_partitioning(workload.schema), disk=SimulatedDisk(disk))
+        column_engine = StorageEngine(
+            column_partitioning(workload.schema), disk=SimulatedDisk(disk)
+        )
+        row_time = row_engine.scan_workload(workload).elapsed_seconds
+        column_time = column_engine.scan_workload(workload).elapsed_seconds
+        assert row_time > column_time
+
+    def test_simulator_sees_the_buffer_size_effect(self, workload):
+        """Lesson 2 holds in the simulator too, not just in the formulas."""
+        layout = column_partitioning(workload.schema)
+        small = StorageEngine(
+            layout, disk=SimulatedDisk(DiskCharacteristics(buffer_size=64 * KB))
+        )
+        large = StorageEngine(
+            layout, disk=SimulatedDisk(DiskCharacteristics(buffer_size=64 * MB))
+        )
+        assert (
+            small.scan_workload(workload).elapsed_seconds
+            > large.scan_workload(workload).elapsed_seconds
+        )

@@ -1,0 +1,206 @@
+"""Integration tests for the experiment drivers (shape checks on small inputs).
+
+Each driver is exercised at a reduced scale (small scale factor, subset of
+tables or buffer values) so the suite stays fast; the benchmark harnesses run
+the full-size versions.
+"""
+
+import pytest
+
+from repro.experiments import (
+    dbms_x_experiment,
+    fragility,
+    layouts,
+    optimization_time,
+    payoff,
+    quality,
+    sweet_spots,
+    workload_scaling,
+)
+from repro.experiments.runner import run_suite
+from repro.workload import tpch
+
+SCALE_FACTOR = 0.5
+SMALL_TABLES = ("partsupp", "customer", "supplier", "nation", "region")
+
+
+@pytest.fixture(scope="module")
+def small_suite():
+    workloads = {
+        table: tpch.tpch_workload(table, scale_factor=SCALE_FACTOR)
+        for table in SMALL_TABLES
+    }
+    return run_suite(workloads)
+
+
+class TestOptimizationTimeDrivers:
+    def test_figure1_rows(self, small_suite):
+        rows = optimization_time.optimization_times(suite=small_suite)
+        assert {row["algorithm"] for row in rows} >= {"hillclimb", "brute-force"}
+        assert all(row["optimization_time_s"] >= 0 for row in rows)
+
+    def test_figure2_rows(self):
+        rows = optimization_time.optimization_time_vs_workload_size(
+            max_queries=3, scale_factor=SCALE_FACTOR, algorithms=("hillclimb", "o2p")
+        )
+        assert [row["k"] for row in rows] == [1, 2, 3]
+        assert all(row["hillclimb"] >= 0 for row in rows)
+
+
+class TestQualityDrivers:
+    def test_figure3_includes_baselines(self, small_suite):
+        rows = quality.estimated_workload_runtimes(suite=small_suite)
+        names = [row["algorithm"] for row in rows]
+        assert "row" in names and "column" in names
+        by_name = {row["algorithm"]: row["estimated_runtime_s"] for row in rows}
+        assert by_name["row"] > by_name["column"]
+
+    def test_figure4_fractions_in_unit_interval(self, small_suite):
+        rows = quality.unnecessary_data_read(suite=small_suite)
+        for row in rows:
+            assert 0.0 <= row["unnecessary_data_fraction"] <= 1.0
+        by_name = {row["algorithm"]: row["unnecessary_data_fraction"] for row in rows}
+        assert by_name["row"] > by_name["column"]
+
+    def test_figure5_row_layout_has_zero_joins(self, small_suite):
+        rows = quality.tuple_reconstruction_joins(suite=small_suite)
+        by_name = {row["algorithm"]: row["avg_reconstruction_joins"] for row in rows}
+        assert by_name["row"] == 0.0
+        assert by_name["column"] >= by_name["hillclimb"]
+
+    def test_figure6_distances_non_negative(self, small_suite):
+        rows = quality.distance_from_pmv(suite=small_suite)
+        for row in rows:
+            assert row["distance_from_pmv"] >= 0.0
+        by_name = {row["algorithm"]: row["distance_from_pmv"] for row in rows}
+        assert by_name["row"] > by_name["hillclimb"]
+
+    def test_table6_main_memory_kills_the_improvement(self):
+        rows = quality.improvement_over_column_by_cost_model(
+            scale_factor=SCALE_FACTOR, algorithms=("hillclimb", "navathe")
+        )
+        by_name = {row["algorithm"]: row for row in rows}
+        # In main memory HillClimb cannot beat the column layout by any
+        # meaningful margin (Table 6 reports 0.00%).
+        assert by_name["hillclimb"]["MM"] <= 0.001
+        # Navathe is negative (worse than column) under both models.
+        assert by_name["navathe"]["HDD"] < 0.0
+        assert by_name["navathe"]["MM"] < 0.0
+
+
+class TestWorkloadScalingDrivers:
+    def test_figure7_rows(self):
+        rows = workload_scaling.improvement_over_column_vs_k(
+            max_queries=4, scale_factor=SCALE_FACTOR
+        )
+        assert [row["k"] for row in rows] == [1, 2, 3, 4]
+        # For a single query the optimal layout matches that query exactly,
+        # so HillClimb improves over Column (positive improvement).
+        assert rows[0]["hillclimb"] > 0.0
+
+    def test_table3_hillclimb_reads_no_unnecessary_data_for_small_k(self):
+        rows = workload_scaling.unnecessary_reads_vs_k(
+            max_queries=3, scale_factor=SCALE_FACTOR
+        )
+        assert all(row["hillclimb"] == pytest.approx(0.0, abs=1e-9) for row in rows)
+
+    def test_table4_joins_grow_with_k(self):
+        rows = workload_scaling.reconstruction_joins_vs_k(
+            max_queries=4, scale_factor=SCALE_FACTOR
+        )
+        assert rows[0]["hillclimb"] <= rows[-1]["hillclimb"]
+        # Column always joins every referenced attribute (more than HillClimb).
+        for row in rows:
+            assert row["column"] >= row["hillclimb"]
+
+
+class TestFragilityAndSweetSpotDrivers:
+    def test_figure8_small_buffer_hurts(self):
+        rows = fragility.buffer_size_fragility(
+            buffer_sizes=(80 * 1024, 8 * 1024 * 1024, 800 * 1024 * 1024),
+            subjects=("hillclimb", "column"),
+            scale_factor=SCALE_FACTOR,
+        )
+        small, default, big = rows
+        assert small["hillclimb"] > 0.0
+        assert default["hillclimb"] == pytest.approx(0.0)
+        assert big["hillclimb"] <= 0.0
+
+    def test_figure11_block_size_has_tiny_impact(self):
+        rows = fragility.parameter_fragility(
+            "block_size",
+            values=(4 * 1024, 8 * 1024, 16 * 1024),
+            subjects=("hillclimb", "column"),
+            scale_factor=SCALE_FACTOR,
+        )
+        for row in rows:
+            assert abs(row["hillclimb"]) < 0.1
+
+    def test_figure11_rejects_unknown_parameter(self):
+        with pytest.raises(ValueError):
+            fragility.parameter_fragility("humidity")
+
+    def test_figure9_small_buffers_favour_partitioning(self):
+        rows = sweet_spots.buffer_size_sweet_spots(
+            buffer_sizes=(100 * 1024, 8 * 1024 * 1024, 1024 * 1024 * 1024),
+            scale_factor=SCALE_FACTOR,
+            tables=("lineitem",),
+        )
+        # Normalised costs: <= 1 means at least as good as Column.
+        assert rows[0]["hillclimb"] <= 1.0 + 1e-9
+        # For a huge buffer the advantage all but disappears (within ~1%).
+        assert rows[-1]["hillclimb"] >= 0.99
+
+    def test_figure12_rows_have_all_subjects(self):
+        rows = sweet_spots.parameter_sweet_spots(
+            "seek_time",
+            values=(2e-3, 6e-3),
+            scale_factor=SCALE_FACTOR,
+            tables=("partsupp",),
+        )
+        for row in rows:
+            for key in ("hillclimb", "navathe", "column", "row", "query_optimal"):
+                assert row[key] > 0
+
+    def test_figure13_rows(self):
+        rows = sweet_spots.scale_factor_sweet_spots(
+            buffer_sizes=(8 * 1024 * 1024,),
+            scale_factors=(0.1, 1.0),
+            tables=("partsupp",),
+        )
+        assert len(rows) == 2
+        assert {row["scale_factor"] for row in rows} == {0.1, 1.0}
+
+
+class TestPayoffLayoutsAndDbmsX:
+    def test_figure10_payoff_over_row_is_fast(self, small_suite):
+        rows = payoff.payoff_over_baselines(suite=small_suite)
+        by_name = {row["algorithm"]: row for row in rows}
+        # Paying off over Row needs at most a few workload executions.
+        assert 0 < by_name["hillclimb"]["payoff_over_row"] < 10
+        # Navathe/O2P never pay off over Column (negative improvement).
+        assert by_name["navathe"]["payoff_over_column"] < 0
+
+    def test_figure14_layout_classes(self, small_suite):
+        classes = layouts.layout_classes(suite=small_suite)
+        for table in ("partsupp", "customer"):
+            groups = classes[table]
+            hillclimb_class = next(
+                members for members in groups.values() if "hillclimb" in members
+            )
+            # The HillClimb class contains AutoPart as well (Figure 14).
+            assert "autopart" in hillclimb_class
+
+    def test_figure14_rows_cover_every_table(self, small_suite):
+        rows = layouts.computed_layouts(suite=small_suite)
+        tables = {row["table"] for row in rows}
+        assert tables == set(SMALL_TABLES)
+
+    def test_table7_shape(self):
+        rows = dbms_x_experiment.dbms_x_runtimes(
+            scale_factor=SCALE_FACTOR, tables=("partsupp", "customer", "supplier")
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row["row"] > row["column"]
+            assert row["row"] > row["hillclimb"]

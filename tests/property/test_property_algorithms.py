@@ -1,0 +1,111 @@
+"""Property-based tests over the partitioning algorithms."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.algorithm import get_algorithm
+from repro.core.partitioning import Partitioning, column_partitioning, row_partitioning
+from repro.cost.disk import DiskCharacteristics, KB, MB
+from repro.cost.hdd import HDDCostModel
+from repro.workload.query import Query
+from repro.workload.schema import Column, TableSchema
+from repro.workload.workload import Workload
+
+HEURISTICS = ("autopart", "hillclimb", "hyrise", "navathe", "o2p", "trojan")
+
+
+@st.composite
+def workloads(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    widths = draw(
+        st.lists(st.integers(min_value=1, max_value=120), min_size=n, max_size=n)
+    )
+    rows = draw(st.integers(min_value=1_000, max_value=500_000))
+    schema = TableSchema(
+        "t", [Column(f"a{i}", w) for i, w in enumerate(widths)], rows
+    )
+    query_count = draw(st.integers(min_value=1, max_value=5))
+    queries = []
+    for q in range(query_count):
+        footprint = draw(
+            st.sets(st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=n)
+        )
+        queries.append(Query(f"Q{q}", [schema.attribute_names[i] for i in footprint]))
+    return Workload(schema, queries)
+
+
+class TestAlgorithmProperties:
+    @given(workloads(), st.sampled_from(HEURISTICS))
+    @settings(max_examples=40, deadline=None)
+    def test_heuristics_always_return_valid_partitionings(self, workload, name):
+        model = HDDCostModel()
+        layout = get_algorithm(name).compute(workload, model)
+        # Re-validate: complete and disjoint.
+        Partitioning(layout.schema, layout.partitions)
+
+    @given(workloads(), st.sampled_from(("hillclimb", "autopart", "hyrise")))
+    @settings(max_examples=30, deadline=None)
+    def test_cost_driven_bottom_up_algorithms_never_worse_than_column(
+        self, workload, name
+    ):
+        """Merge-based, cost-driven algorithms start at (or dominate) the
+        column layout and only accept cost improvements.  Navathe/O2P (affinity
+        objective) and Trojan (interestingness objective) are excluded: their
+        split/grouping decisions do not consult the cost model, so no such
+        guarantee exists — which is exactly why the paper finds them worse
+        than Column on TPC-H."""
+        model = HDDCostModel()
+        result = get_algorithm(name).run(workload, model)
+        column_cost = model.workload_cost(workload, column_partitioning(workload.schema))
+        assert result.estimated_cost <= column_cost * 1.001
+
+    @given(workloads(), st.sampled_from(("navathe", "o2p")))
+    @settings(max_examples=25, deadline=None)
+    def test_top_down_algorithms_never_split_without_positive_gain(
+        self, workload, name
+    ):
+        """Navathe/O2P only split where the affinity gain is positive, so with a
+        single query (every attribute pair either co-accessed or untouched)
+        they must keep the referenced attributes of that query together."""
+        single = Workload(workload.schema, [list(workload)[0]])
+        model = HDDCostModel()
+        layout = get_algorithm(name).compute(single, model)
+        query = list(single)[0]
+        referenced = layout.referenced_partitions(query)
+        covering = [p for p in referenced if query.index_set <= p.attributes]
+        assert len(covering) == 1
+
+    @given(workloads())
+    @settings(max_examples=20, deadline=None)
+    def test_brute_force_is_a_lower_bound_for_every_heuristic(self, workload):
+        """Raw (non-collapsed) enumeration is exhaustive, hence a true lower
+        bound.  The primary-partition-collapsed variant is only optimal up to
+        block-rounding effects, so it is not used here."""
+        model = HDDCostModel()
+        brute = get_algorithm(
+            "brute-force", max_attributes=12, collapse_primary_partitions=False
+        ).run(workload, model)
+        for name in HEURISTICS:
+            heuristic = get_algorithm(name).run(workload, model)
+            assert brute.estimated_cost <= heuristic.estimated_cost * 1.0001
+
+    @given(workloads(), st.sampled_from(HEURISTICS))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_across_runs(self, workload, name):
+        model = HDDCostModel()
+        first = get_algorithm(name).compute(workload, model)
+        second = get_algorithm(name).compute(workload, model)
+        assert first == second
+
+    @given(workloads(), st.sampled_from(HEURISTICS))
+    @settings(max_examples=20, deadline=None)
+    def test_scaling_the_table_does_not_change_the_layout_structure(
+        self, workload, name
+    ):
+        """Layouts depend on access patterns and relative widths, so scaling
+        the row count by a constant factor must still give a valid layout of
+        the same schema (costs scale, structure stays legal)."""
+        model = HDDCostModel()
+        scaled = workload.scaled(3.0)
+        layout = get_algorithm(name).compute(scaled, model)
+        assert layout.schema.row_count == scaled.schema.row_count
+        Partitioning(layout.schema, layout.partitions)

@@ -1,0 +1,93 @@
+"""Property-based tests for the partitioning model."""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.core.partitioning import (
+    Partition,
+    Partitioning,
+    PartitioningError,
+    column_partitioning,
+    row_partitioning,
+)
+from repro.workload.schema import Column, TableSchema
+
+
+@st.composite
+def schemas(draw, max_attributes=10):
+    n = draw(st.integers(min_value=1, max_value=max_attributes))
+    widths = draw(
+        st.lists(st.integers(min_value=1, max_value=256), min_size=n, max_size=n)
+    )
+    rows = draw(st.integers(min_value=1, max_value=1_000_000))
+    return TableSchema(
+        "t", [Column(f"a{i}", width) for i, width in enumerate(widths)], rows
+    )
+
+
+@st.composite
+def schema_and_partitioning(draw):
+    schema = draw(schemas())
+    n = schema.attribute_count
+    labels = draw(st.lists(st.integers(min_value=0, max_value=n - 1), min_size=n, max_size=n))
+    groups = {}
+    for attribute, label in enumerate(labels):
+        groups.setdefault(label, []).append(attribute)
+    return schema, Partitioning(schema, list(groups.values()))
+
+
+class TestPartitioningProperties:
+    @given(schema_and_partitioning())
+    @settings(max_examples=100, deadline=None)
+    def test_partitions_cover_each_attribute_exactly_once(self, pair):
+        schema, layout = pair
+        counts = [0] * schema.attribute_count
+        for partition in layout:
+            for attribute in partition:
+                counts[attribute] += 1
+        assert all(count == 1 for count in counts)
+
+    @given(schema_and_partitioning())
+    @settings(max_examples=100, deadline=None)
+    def test_row_sizes_sum_to_table_row_size(self, pair):
+        schema, layout = pair
+        assert sum(p.row_size(schema) for p in layout) == schema.row_size
+
+    @given(schema_and_partitioning())
+    @settings(max_examples=100, deadline=None)
+    def test_signature_is_order_invariant(self, pair):
+        schema, layout = pair
+        reshuffled = Partitioning(schema, list(reversed(list(layout.partitions))))
+        assert layout == reshuffled
+        assert hash(layout) == hash(reshuffled)
+
+    @given(schemas())
+    @settings(max_examples=50, deadline=None)
+    def test_row_and_column_factories_are_extremes(self, schema):
+        row = row_partitioning(schema)
+        column = column_partitioning(schema)
+        assert row.partition_count == 1
+        assert column.partition_count == schema.attribute_count
+        assert row.is_row_layout()
+        assert column.is_column_layout()
+
+    @given(schemas(), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_dropping_an_attribute_is_rejected(self, schema, data):
+        if schema.attribute_count < 2:
+            return
+        drop = data.draw(
+            st.integers(min_value=0, max_value=schema.attribute_count - 1)
+        )
+        kept = [i for i in range(schema.attribute_count) if i != drop]
+        with pytest.raises(PartitioningError):
+            Partitioning(schema, [kept])
+
+    @given(schemas())
+    @settings(max_examples=50, deadline=None)
+    def test_duplicated_attribute_is_rejected(self, schema):
+        groups = [[i] for i in range(schema.attribute_count)]
+        groups.append([0])
+        with pytest.raises(PartitioningError):
+            Partitioning(schema, groups)

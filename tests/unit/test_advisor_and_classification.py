@@ -1,0 +1,132 @@
+"""Unit tests for the LayoutAdvisor public API and the classification tables."""
+
+import pytest
+
+from repro.core import classification
+from repro.core.advisor import LayoutAdvisor
+from repro.core.algorithm import get_algorithm
+from repro.cost.mainmemory import MainMemoryCostModel
+
+
+class TestLayoutAdvisor:
+    def test_recommend_returns_all_algorithms(self, partsupp_workload):
+        advisor = LayoutAdvisor(algorithms=("hillclimb", "navathe"))
+        report = advisor.recommend(partsupp_workload)
+        assert {rec.algorithm for rec in report.recommendations} == {
+            "hillclimb",
+            "navathe",
+        }
+
+    def test_best_is_cheapest(self, partsupp_workload):
+        advisor = LayoutAdvisor(algorithms=("hillclimb", "navathe", "o2p"))
+        report = advisor.recommend(partsupp_workload)
+        best = report.best
+        assert all(best.estimated_cost <= rec.estimated_cost for rec in report.recommendations)
+
+    def test_by_algorithm_lookup(self, partsupp_workload):
+        advisor = LayoutAdvisor(algorithms=("hillclimb",))
+        report = advisor.recommend(partsupp_workload)
+        assert report.by_algorithm("hillclimb").algorithm == "hillclimb"
+        with pytest.raises(KeyError):
+            report.by_algorithm("navathe")
+
+    def test_recommend_layout_shortcut(self, partsupp_workload):
+        advisor = LayoutAdvisor(algorithms=("hillclimb",))
+        layout = advisor.recommend_layout(partsupp_workload)
+        assert layout.partition_count >= 1
+
+    def test_row_and_column_costs_reported(self, partsupp_workload):
+        advisor = LayoutAdvisor(algorithms=("hillclimb",))
+        report = advisor.recommend(partsupp_workload)
+        assert report.row_cost > report.column_cost > 0
+
+    def test_metrics_attached_to_recommendations(self, partsupp_workload):
+        advisor = LayoutAdvisor(algorithms=("hillclimb",))
+        recommendation = advisor.recommend(partsupp_workload).by_algorithm("hillclimb")
+        assert recommendation.improvement_over_row > 0
+        assert 0 <= recommendation.unnecessary_data_fraction <= 1
+        assert recommendation.average_reconstruction_joins >= 0
+        assert recommendation.creation_time > 0
+
+    def test_algorithm_options_forwarded(self, partsupp_workload):
+        advisor = LayoutAdvisor(
+            algorithms=("trojan",),
+            algorithm_options={"trojan": {"interestingness_threshold": 1.0}},
+        )
+        report = advisor.recommend(partsupp_workload)
+        expected = {frozenset(f) for f in partsupp_workload.primary_partitions()}
+        assert set(report.by_algorithm("trojan").partitioning.as_sets()) == expected
+
+    def test_custom_cost_model(self, partsupp_workload):
+        advisor = LayoutAdvisor(
+            cost_model=MainMemoryCostModel(), algorithms=("hillclimb",)
+        )
+        report = advisor.recommend(partsupp_workload)
+        assert "main-memory" in report.cost_model_description
+
+    def test_recommend_all(self, partsupp_workload, customer_workload):
+        advisor = LayoutAdvisor(algorithms=("hillclimb",))
+        reports = advisor.recommend_all(
+            {"partsupp": partsupp_workload, "customer": customer_workload}
+        )
+        assert set(reports) == {"partsupp", "customer"}
+
+    def test_report_rendering(self, partsupp_workload):
+        advisor = LayoutAdvisor(algorithms=("hillclimb", "navathe"))
+        report = advisor.recommend(partsupp_workload)
+        text = report.describe()
+        assert "hillclimb" in text and "navathe" in text
+        rows = report.to_rows()
+        assert len(rows) == 2
+        assert rows[0]["estimated_cost_s"] <= rows[1]["estimated_cost_s"]
+
+    def test_empty_report_best_raises(self, partsupp_workload):
+        advisor = LayoutAdvisor(algorithms=())
+        report = advisor.recommend(partsupp_workload)
+        with pytest.raises(ValueError):
+            report.best
+
+
+class TestClassificationTables:
+    def test_table1_contains_all_seven_algorithms(self):
+        algorithms = {row.algorithm for row in classification.TABLE_1}
+        assert algorithms == {
+            "autopart", "hillclimb", "hyrise", "navathe", "o2p", "trojan", "brute-force",
+        }
+
+    def test_table1_matches_algorithm_class_attributes(self):
+        for row in classification.TABLE_1:
+            if row.algorithm == "brute-force":
+                continue
+            algorithm = get_algorithm(row.algorithm)
+            assert algorithm.search_strategy == row.search_strategy
+            assert algorithm.starting_point == row.starting_point
+            assert algorithm.candidate_pruning == row.candidate_pruning
+
+    def test_table2_unified_setting_present(self):
+        unified = classification.setting_for("unified")
+        assert unified.hardware == "hard-disk"
+        assert unified.workload == "offline"
+        assert unified.replication == "none"
+
+    def test_no_two_algorithms_share_the_same_native_setting(self):
+        """Table 2's point: every algorithm was proposed under a different setting."""
+        settings = [
+            (row.granularity, row.hardware, row.workload, row.replication, row.system)
+            for row in classification.TABLE_2
+            if row.algorithm != "unified"
+        ]
+        assert len(settings) == len(set(settings))
+
+    def test_lookup_helpers(self):
+        assert classification.classification_for("hillclimb").search_strategy == "bottom-up"
+        with pytest.raises(KeyError):
+            classification.classification_for("unknown")
+        with pytest.raises(KeyError):
+            classification.setting_for("unknown")
+
+    def test_formatting_helpers(self):
+        assert "hillclimb" in classification.format_classification_table()
+        assert "unified" in classification.format_settings_table()
+        assert len(classification.classification_table()) == 7
+        assert len(classification.settings_table()) == 7

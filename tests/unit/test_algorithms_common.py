@@ -1,0 +1,100 @@
+"""Cross-cutting tests that every algorithm must satisfy."""
+
+import pytest
+
+from repro.core.algorithm import (
+    AlgorithmNotFoundError,
+    available_algorithms,
+    get_algorithm,
+)
+from repro.core.partitioning import Partitioning
+from repro.cost.hdd import HDDCostModel
+from repro.workload import synthetic
+
+ALL_ALGORITHMS = [
+    "autopart",
+    "brute-force",
+    "column",
+    "hillclimb",
+    "hyrise",
+    "navathe",
+    "o2p",
+    "row",
+    "trojan",
+]
+
+HEURISTICS = ["autopart", "hillclimb", "hyrise", "navathe", "o2p", "trojan"]
+
+
+class TestRegistry:
+    def test_all_algorithms_registered(self):
+        assert set(available_algorithms()) == set(ALL_ALGORITHMS)
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(AlgorithmNotFoundError):
+            get_algorithm("quicksort")
+
+    def test_get_algorithm_forwards_kwargs(self):
+        algorithm = get_algorithm("trojan", interestingness_threshold=0.9)
+        assert algorithm.interestingness_threshold == 0.9
+
+    def test_classification_attributes_present(self):
+        for name in HEURISTICS + ["brute-force"]:
+            algorithm = get_algorithm(name)
+            assert algorithm.search_strategy
+            assert algorithm.starting_point
+            assert algorithm.candidate_pruning
+
+
+@pytest.mark.parametrize("name", ALL_ALGORITHMS)
+class TestAlgorithmContract:
+    def test_produces_valid_partitioning(self, name, partsupp_workload, hdd_model):
+        result = get_algorithm(name).run(partsupp_workload, hdd_model)
+        layout = result.partitioning
+        assert isinstance(layout, Partitioning)
+        # Re-validating raises if the layout is not complete and disjoint.
+        Partitioning(layout.schema, layout.partitions)
+
+    def test_result_bookkeeping(self, name, partsupp_workload, hdd_model):
+        result = get_algorithm(name).run(partsupp_workload, hdd_model)
+        assert result.algorithm == name
+        assert result.optimization_time >= 0.0
+        assert result.estimated_cost > 0.0
+        assert result.workload_name == partsupp_workload.name
+        assert "hdd" in result.cost_model
+
+    def test_estimated_cost_matches_cost_model(self, name, partsupp_workload, hdd_model):
+        result = get_algorithm(name).run(partsupp_workload, hdd_model)
+        recomputed = hdd_model.workload_cost(partsupp_workload, result.partitioning)
+        assert result.estimated_cost == pytest.approx(recomputed)
+
+
+@pytest.mark.parametrize("name", HEURISTICS)
+class TestHeuristicQuality:
+    def test_never_worse_than_row_layout(self, name, partsupp_workload, hdd_model):
+        from repro.core.partitioning import row_partitioning
+
+        row_cost = hdd_model.workload_cost(
+            partsupp_workload, row_partitioning(partsupp_workload.schema)
+        )
+        result = get_algorithm(name).run(partsupp_workload, hdd_model)
+        assert result.estimated_cost <= row_cost * 1.0001
+
+    def test_deterministic(self, name, customer_workload, hdd_model):
+        first = get_algorithm(name).run(customer_workload, hdd_model)
+        second = get_algorithm(name).run(customer_workload, hdd_model)
+        assert first.partitioning == second.partitioning
+
+    def test_handles_single_attribute_table(self, name, hdd_model):
+        schema = synthetic.synthetic_table(1, row_count=100, random_state=0)
+        workload = synthetic.random_workload(schema, 3, random_state=0)
+        result = get_algorithm(name).run(workload, hdd_model)
+        assert result.partitioning.partition_count == 1
+
+    def test_handles_single_query_workload(self, name, hdd_model):
+        schema = synthetic.synthetic_table(6, row_count=1000, random_state=1)
+        workload = synthetic.random_workload(
+            schema, 1, min_attributes=2, max_attributes=3, random_state=1
+        )
+        result = get_algorithm(name).run(workload, hdd_model)
+        Partitioning(result.partitioning.schema, result.partitioning.partitions)

@@ -1,0 +1,54 @@
+"""Unit tests for the AutoPart algorithm."""
+
+import pytest
+
+from repro.algorithms.autopart import AutoPartAlgorithm
+from repro.algorithms.brute_force import BruteForceAlgorithm
+from repro.algorithms.hillclimb import HillClimbAlgorithm
+
+
+class TestAutoPart:
+    def test_starts_from_atomic_fragments(self, intro_workload, hdd_model):
+        algorithm = AutoPartAlgorithm()
+        algorithm.run(intro_workload, hdd_model)
+        fragments = algorithm.last_run_metadata()["atomic_fragments"]
+        # partkey+suppkey are always co-accessed, as are availqty+supplycost.
+        assert [0, 1] in fragments
+        assert [2, 3] in fragments
+
+    def test_matches_brute_force_on_partsupp(self, partsupp_workload, hdd_model):
+        """Paper Lesson 1: AutoPart finds the brute-force-optimal layouts."""
+        autopart = AutoPartAlgorithm().run(partsupp_workload, hdd_model)
+        brute = BruteForceAlgorithm().run(partsupp_workload, hdd_model)
+        assert autopart.estimated_cost == pytest.approx(brute.estimated_cost, rel=1e-9)
+
+    def test_same_cost_as_hillclimb_on_tpch_tables(
+        self, customer_workload, lineitem_workload, hdd_model
+    ):
+        """AutoPart and HillClimb belong to the same quality class (Figure 14)."""
+        for workload in (customer_workload, lineitem_workload):
+            autopart = AutoPartAlgorithm().run(workload, hdd_model)
+            hillclimb = HillClimbAlgorithm().run(workload, hdd_model)
+            assert autopart.estimated_cost == pytest.approx(
+                hillclimb.estimated_cost, rel=1e-6
+            )
+
+    def test_never_splits_atomic_fragments(self, lineitem_workload, hdd_model):
+        """Attributes always accessed together stay together."""
+        layout = AutoPartAlgorithm().compute(lineitem_workload, hdd_model)
+        for fragment in lineitem_workload.primary_partitions():
+            # The fragment must be contained in exactly one partition.
+            containing = [
+                partition
+                for partition in layout
+                if fragment & partition.attributes
+            ]
+            assert len(containing) == 1
+            assert fragment <= containing[0].attributes
+
+    def test_metadata_counts(self, partsupp_workload, hdd_model):
+        algorithm = AutoPartAlgorithm()
+        algorithm.run(partsupp_workload, hdd_model)
+        metadata = algorithm.last_run_metadata()
+        assert metadata["iterations"] >= 1
+        assert metadata["final_cost"] > 0

@@ -1,0 +1,62 @@
+"""Unit tests for the row/column baselines and perfect materialised views."""
+
+import pytest
+
+from repro.algorithms.baselines import (
+    ColumnLayoutAlgorithm,
+    PerfectMaterializedViews,
+    RowLayoutAlgorithm,
+)
+from repro.core.partitioning import column_partitioning, row_partitioning
+
+
+class TestRowAndColumnBaselines:
+    def test_row_layout(self, partsupp_workload, hdd_model):
+        layout = RowLayoutAlgorithm().compute(partsupp_workload, hdd_model)
+        assert layout.is_row_layout()
+
+    def test_column_layout(self, partsupp_workload, hdd_model):
+        layout = ColumnLayoutAlgorithm().compute(partsupp_workload, hdd_model)
+        assert layout.is_column_layout()
+
+    def test_baselines_ignore_cost_model(self, partsupp_workload, hdd_model, mm_model):
+        row_hdd = RowLayoutAlgorithm().compute(partsupp_workload, hdd_model)
+        row_mm = RowLayoutAlgorithm().compute(partsupp_workload, mm_model)
+        assert row_hdd == row_mm
+
+
+class TestPerfectMaterializedViews:
+    def test_pmv_is_cheaper_than_any_partitioning(self, partsupp_workload, hdd_model):
+        """PMV reads exactly the needed attributes from one projection per
+        query, so no legal partitioning can beat it."""
+        pmv_cost = PerfectMaterializedViews().workload_cost(partsupp_workload, hdd_model)
+        for layout in (
+            row_partitioning(partsupp_workload.schema),
+            column_partitioning(partsupp_workload.schema),
+        ):
+            assert pmv_cost <= hdd_model.workload_cost(partsupp_workload, layout)
+
+    def test_pmv_cheaper_than_best_algorithm(self, customer_workload, hdd_model):
+        from repro.core.algorithm import get_algorithm
+
+        pmv_cost = PerfectMaterializedViews().workload_cost(customer_workload, hdd_model)
+        best = get_algorithm("hillclimb").run(customer_workload, hdd_model)
+        assert pmv_cost <= best.estimated_cost
+
+    def test_per_query_costs_positive(self, partsupp_workload, hdd_model):
+        costs = PerfectMaterializedViews().per_query_costs(partsupp_workload, hdd_model)
+        assert set(costs) == {q.name for q in partsupp_workload}
+        assert all(value > 0 for value in costs.values())
+
+    def test_query_covering_all_attributes_equals_row_scan(self, hdd_model):
+        """If a query needs every attribute its perfect projection is the row
+        layout itself."""
+        from repro.workload.query import Query
+        from repro.workload.schema import Column, TableSchema
+        from repro.workload.workload import Workload
+
+        schema = TableSchema("t", [Column("a", 4), Column("b", 8)], row_count=10_000)
+        workload = Workload(schema, [Query("Q1", ["a", "b"])])
+        pmv_cost = PerfectMaterializedViews().workload_cost(workload, hdd_model)
+        row_cost = hdd_model.workload_cost(workload, row_partitioning(schema))
+        assert pmv_cost == pytest.approx(row_cost)

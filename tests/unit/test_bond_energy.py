@@ -1,0 +1,85 @@
+"""Unit tests for the Bond Energy Algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.support.bond_energy import bond_energy_order, bond_energy_score
+
+
+class TestBondEnergyOrder:
+    def test_empty_and_singleton(self):
+        assert bond_energy_order(np.zeros((0, 0))) == []
+        assert bond_energy_order(np.ones((1, 1))) == [0]
+
+    def test_result_is_a_permutation(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.random((7, 7))
+        matrix = matrix + matrix.T
+        order = bond_energy_order(matrix)
+        assert sorted(order) == list(range(7))
+
+    def test_rejects_non_square_matrix(self):
+        with pytest.raises(ValueError):
+            bond_energy_order(np.zeros((2, 3)))
+
+    def test_clusters_block_structure(self):
+        """Two disjoint affinity blocks must end up contiguous in the order."""
+        affinity = np.zeros((6, 6))
+        block_a = [0, 2, 4]
+        block_b = [1, 3, 5]
+        for block in (block_a, block_b):
+            for i in block:
+                for j in block:
+                    affinity[i, j] = 10.0
+        order = bond_energy_order(affinity)
+        positions_a = sorted(order.index(i) for i in block_a)
+        positions_b = sorted(order.index(i) for i in block_b)
+        # Each block occupies consecutive positions.
+        assert positions_a == list(range(positions_a[0], positions_a[0] + 3))
+        assert positions_b == list(range(positions_b[0], positions_b[0] + 3))
+
+    def test_ordering_at_least_as_good_as_identity_on_clustered_input(self):
+        affinity = np.array(
+            [
+                [5.0, 0.0, 5.0, 0.0],
+                [0.0, 3.0, 0.0, 3.0],
+                [5.0, 0.0, 5.0, 0.0],
+                [0.0, 3.0, 0.0, 3.0],
+            ]
+        )
+        order = bond_energy_order(affinity)
+        assert bond_energy_score(affinity, order) >= bond_energy_score(
+            affinity, [0, 1, 2, 3]
+        )
+
+    def test_initial_order_is_respected(self):
+        affinity = np.eye(4)
+        order = bond_energy_order(affinity, initial=[3, 2, 1, 0])
+        assert order == [3, 2, 1, 0]
+
+    def test_initial_order_with_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            bond_energy_order(np.eye(3), initial=[0, 0])
+
+    def test_initial_order_with_unknown_index_rejected(self):
+        with pytest.raises(ValueError):
+            bond_energy_order(np.eye(3), initial=[5])
+
+
+class TestBondEnergyScore:
+    def test_score_of_trivial_orders(self):
+        affinity = np.ones((3, 3))
+        assert bond_energy_score(affinity, [0]) == 0.0
+        assert bond_energy_score(affinity, [0, 1]) == pytest.approx(3.0)
+
+    def test_score_depends_on_adjacency(self):
+        affinity = np.array(
+            [
+                [1.0, 1.0, 0.0],
+                [1.0, 1.0, 0.0],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+        good = bond_energy_score(affinity, [0, 1, 2])
+        bad = bond_energy_score(affinity, [0, 2, 1])
+        assert good > bad

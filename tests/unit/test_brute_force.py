@@ -1,0 +1,83 @@
+"""Unit tests for the brute force algorithm."""
+
+import pytest
+
+from repro.algorithms.brute_force import (
+    BruteForceAlgorithm,
+    BruteForceSearchSpaceError,
+)
+from repro.algorithms.support.enumeration import bell_number
+from repro.cost.hdd import HDDCostModel
+from repro.workload import synthetic
+from repro.workload.query import Query
+from repro.workload.schema import Column, TableSchema
+from repro.workload.workload import Workload
+
+
+class TestSearchSpaceGuard:
+    def test_refuses_wide_tables(self, hdd_model):
+        schema = synthetic.synthetic_table(20, random_state=0)
+        workload = synthetic.random_workload(schema, 5, random_state=0)
+        algorithm = BruteForceAlgorithm(max_attributes=8, collapse_primary_partitions=False)
+        with pytest.raises(BruteForceSearchSpaceError):
+            algorithm.compute(workload, hdd_model)
+
+    def test_limit_applies_after_primary_partition_collapse(self, hdd_model):
+        """A wide table with few distinct access signatures is still feasible."""
+        schema = synthetic.synthetic_table(20, random_state=0)
+        names = schema.attribute_names
+        workload = Workload(
+            schema,
+            [Query("Q1", names[:10]), Query("Q2", names[10:])],
+        )
+        algorithm = BruteForceAlgorithm(max_attributes=4)
+        layout = algorithm.compute(workload, hdd_model)
+        assert layout.partition_count >= 1
+
+
+class TestOptimality:
+    def test_finds_optimum_on_intro_example(self, intro_workload, hdd_model):
+        """On the paper's PartSupp example the optimum splits into P1/P2/P3."""
+        algorithm = BruteForceAlgorithm()
+        layout = algorithm.compute(intro_workload, hdd_model)
+        names = set(layout.as_names())
+        assert ("partkey", "suppkey") in names
+        assert ("availqty", "supplycost") in names
+        assert ("comment",) in names
+
+    def test_never_worse_than_any_heuristic(self, partsupp_workload, hdd_model):
+        from repro.core.algorithm import get_algorithm
+
+        brute = BruteForceAlgorithm().run(partsupp_workload, hdd_model)
+        for name in ("hillclimb", "autopart", "hyrise", "navathe", "o2p", "trojan"):
+            heuristic = get_algorithm(name).run(partsupp_workload, hdd_model)
+            assert brute.estimated_cost <= heuristic.estimated_cost * 1.0001
+
+    def test_collapse_and_raw_enumeration_agree(self, hdd_model):
+        schema = TableSchema(
+            "t",
+            [Column("a", 4), Column("b", 8), Column("c", 16), Column("d", 150)],
+            row_count=50_000,
+        )
+        workload = Workload(
+            schema,
+            [Query("Q1", ["a", "b"]), Query("Q2", ["b", "c"]), Query("Q3", ["d"])],
+        )
+        collapsed = BruteForceAlgorithm(collapse_primary_partitions=True).run(
+            workload, hdd_model
+        )
+        raw = BruteForceAlgorithm(collapse_primary_partitions=False).run(
+            workload, hdd_model
+        )
+        assert collapsed.estimated_cost == pytest.approx(raw.estimated_cost)
+
+    def test_metadata_reports_candidate_counts(self, partsupp_workload, hdd_model):
+        algorithm = BruteForceAlgorithm()
+        result = algorithm.run(partsupp_workload, hdd_model)
+        units = result.metadata["enumeration_units"]
+        assert result.metadata["candidates_evaluated"] == bell_number(units)
+        assert result.metadata["collapsed_primary_partitions"] is True
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BruteForceAlgorithm(max_attributes=0)

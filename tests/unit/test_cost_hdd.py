@@ -1,0 +1,182 @@
+"""Unit tests for the HDD cost model (the paper's Section 4 formulas)."""
+
+import math
+
+import pytest
+
+from repro.core.partitioning import Partition, Partitioning, column_partitioning, row_partitioning
+from repro.cost.disk import DiskCharacteristics, KB, MB
+from repro.cost.hdd import HDDCostModel
+from repro.workload.query import Query
+from repro.workload.schema import Column, TableSchema
+from repro.workload.workload import Workload
+
+
+@pytest.fixture
+def schema():
+    return TableSchema(
+        "t", [Column("a", 8), Column("b", 8), Column("c", 16)], row_count=100_000
+    )
+
+
+@pytest.fixture
+def workload(schema):
+    return Workload(schema, [Query("Q1", ["a"]), Query("Q2", ["a", "b", "c"])])
+
+
+@pytest.fixture
+def disk():
+    return DiskCharacteristics(
+        block_size=8 * KB,
+        buffer_size=1 * MB,
+        read_bandwidth=100 * MB,
+        write_bandwidth=50 * MB,
+        seek_time=5e-3,
+    )
+
+
+class TestBuildingBlocks:
+    def test_blocks_on_disk_matches_formula(self, schema, disk):
+        model = HDDCostModel(disk)
+        layout = row_partitioning(schema)
+        partition = layout.partitions[0]
+        rows_per_block = disk.block_size // 32  # row size 32 bytes
+        expected = math.ceil(schema.row_count / rows_per_block)
+        assert model.blocks_on_disk(partition, layout) == expected
+
+    def test_blocks_on_disk_handles_rows_wider_than_block(self, disk):
+        wide = TableSchema("w", [Column("x", 10 * KB)], row_count=10)
+        model = HDDCostModel(disk)
+        layout = row_partitioning(wide)
+        # One row per block at minimum: 10 rows -> 10 blocks.
+        assert model.blocks_on_disk(layout.partitions[0], layout) == 10
+
+    def test_buffer_share_is_proportional_to_row_size(self, schema, disk):
+        model = HDDCostModel(disk)
+        layout = Partitioning(schema, [[0], [1], [2]])
+        partitions = list(layout.partitions)
+        narrow = layout.partition_of(0)
+        wide = layout.partition_of(2)
+        share_narrow = model.buffer_share(narrow, partitions, layout)
+        share_wide = model.buffer_share(wide, partitions, layout)
+        assert share_wide == pytest.approx(2 * share_narrow, rel=0.01)
+        assert share_narrow + share_wide <= disk.buffer_size
+
+    def test_buffer_share_alone_gets_whole_buffer(self, schema, disk):
+        model = HDDCostModel(disk)
+        layout = row_partitioning(schema)
+        partition = layout.partitions[0]
+        assert model.buffer_share(partition, [partition], layout) == disk.buffer_size
+
+    def test_seek_cost_increases_when_buffer_is_shared(self, schema, disk):
+        model = HDDCostModel(disk)
+        column = column_partitioning(schema)
+        partition = column.partition_of(0)
+        alone = model.seek_cost(partition, [partition], column)
+        shared = model.seek_cost(partition, list(column.partitions), column)
+        assert shared > alone
+
+    def test_scan_cost_proportional_to_blocks(self, schema, disk):
+        model = HDDCostModel(disk)
+        layout = row_partitioning(schema)
+        partition = layout.partitions[0]
+        blocks = model.blocks_on_disk(partition, layout)
+        assert model.scan_cost(partition, layout) == pytest.approx(
+            blocks * disk.block_size / disk.read_bandwidth
+        )
+
+
+class TestQueryCost:
+    def test_query_reads_only_referenced_partitions(self, schema, workload, disk):
+        model = HDDCostModel(disk)
+        layout = Partitioning(schema, [[0], [1], [2]])
+        q1 = workload.query("Q1")
+        # Q1 references only attribute a -> cost of reading partition {a} alone.
+        partition = layout.partition_of(0)
+        expected = model.partition_read_cost(partition, [partition], layout)
+        assert model.query_cost(q1, layout) == pytest.approx(expected)
+
+    def test_row_layout_forces_full_reads(self, schema, workload, disk):
+        model = HDDCostModel(disk)
+        row = row_partitioning(schema)
+        q1 = workload.query("Q1")
+        q2 = workload.query("Q2")
+        # In a row layout both queries read exactly the same data.
+        assert model.query_cost(q1, row) == pytest.approx(model.query_cost(q2, row))
+
+    def test_narrow_query_cheaper_on_column_layout(self, schema, workload, disk):
+        model = HDDCostModel(disk)
+        q1 = workload.query("Q1")
+        assert model.query_cost(q1, column_partitioning(schema)) < model.query_cost(
+            q1, row_partitioning(schema)
+        )
+
+    def test_workload_cost_is_weighted_sum(self, schema, disk):
+        model = HDDCostModel(disk)
+        workload = Workload(
+            schema, [Query("Q1", ["a"], weight=3.0), Query("Q2", ["b"], weight=1.0)]
+        )
+        layout = column_partitioning(schema)
+        expected = 3.0 * model.query_cost(workload.query("Q1"), layout) + model.query_cost(
+            workload.query("Q2"), layout
+        )
+        assert model.workload_cost(workload, layout) == pytest.approx(expected)
+
+    def test_per_query_costs_keys(self, schema, workload, disk):
+        model = HDDCostModel(disk)
+        costs = model.per_query_costs(workload, column_partitioning(schema))
+        assert set(costs) == {"Q1", "Q2"}
+
+    def test_bytes_read_and_needed(self, schema, workload, disk):
+        model = HDDCostModel(disk)
+        row = row_partitioning(schema)
+        q1 = workload.query("Q1")
+        assert model.bytes_needed(q1, row) == 8 * schema.row_count
+        assert model.bytes_read(q1, row) >= 32 * schema.row_count
+
+    def test_larger_buffer_never_increases_cost(self, schema, workload, disk):
+        small = HDDCostModel(disk.with_buffer_size(64 * KB))
+        large = HDDCostModel(disk.with_buffer_size(64 * MB))
+        layout = column_partitioning(schema)
+        for query in workload:
+            assert large.query_cost(query, layout) <= small.query_cost(query, layout)
+
+    def test_with_disk_returns_new_model(self, disk):
+        model = HDDCostModel(disk)
+        other = model.with_disk(disk.with_seek_time(1e-3))
+        assert other is not model
+        assert other.disk.seek_time == pytest.approx(1e-3)
+
+    def test_describe_mentions_parameters(self, disk):
+        assert "buffer" in HDDCostModel(disk).describe()
+
+
+class TestPaperExample:
+    """The introduction's PartSupp example: P1/P2/P3 versus P4/P5."""
+
+    def test_wide_partition_forces_unnecessary_reads_for_q2(self, intro_workload):
+        model = HDDCostModel()
+        schema = intro_workload.schema
+        three_way = Partitioning(schema, [[0, 1], [2, 3], [4]])
+        two_way = Partitioning(schema, [[0, 1, 2, 3], [4]])
+        q2 = intro_workload.query("Q2")
+        # Q2 (availqty, supplycost, comment) reads PartKey/SuppKey unnecessarily
+        # under the two-way split, so it must read more bytes.
+        assert model.bytes_read(q2, two_way) > model.bytes_read(q2, three_way)
+
+    def test_q1_has_more_random_io_with_narrow_partitions(self, intro_workload):
+        # Paper: Q1 has twice the random I/O for P1+P2 than for P4.
+        model = HDDCostModel()
+        schema = intro_workload.schema
+        narrow = Partitioning(schema, [[0, 1], [2, 3], [4]])
+        wide = Partitioning(schema, [[0, 1, 2, 3], [4]])
+        q1 = intro_workload.query("Q1")
+        seeks_narrow = sum(
+            model.seek_cost(p, narrow.referenced_partitions(q1), narrow)
+            for p in narrow.referenced_partitions(q1)
+        )
+        seeks_wide = sum(
+            model.seek_cost(p, wide.referenced_partitions(q1), wide)
+            for p in wide.referenced_partitions(q1)
+        )
+        assert seeks_narrow > seeks_wide

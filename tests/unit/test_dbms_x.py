@@ -1,0 +1,69 @@
+"""Unit tests for the simulated DBMS-X (Table 7 substrate)."""
+
+import pytest
+
+from repro.core.partitioning import Partitioning, column_partitioning, row_partitioning
+from repro.storage.compression import DictionaryCompression, VaryingLengthCompression
+from repro.storage.dbms_x import DbmsX, DbmsXConfig
+from repro.workload import tpch
+
+
+@pytest.fixture
+def workload():
+    return tpch.tpch_workload("partsupp", scale_factor=0.5)
+
+
+class TestDbmsX:
+    def test_load_applies_compression_widths(self, workload):
+        dbms = DbmsX(DbmsXConfig(compression=VaryingLengthCompression()))
+        engine = dbms.load(row_partitioning(workload.schema))
+        # The compressed row is narrower than the raw 219-byte PartSupp row.
+        assert engine.files[0].row_size < workload.schema.row_size
+
+    def test_excluded_queries_are_skipped(self, workload):
+        """Q9 is excluded from the DBMS-X measurement, as in the paper."""
+        config = DbmsXConfig(excluded_queries=frozenset({"Q9"}))
+        dbms = DbmsX(config)
+        with_exclusion = dbms.run_workload(workload, row_partitioning(workload.schema))
+        dbms_all = DbmsX(DbmsXConfig(excluded_queries=frozenset()))
+        without_exclusion = dbms_all.run_workload(
+            workload, row_partitioning(workload.schema)
+        )
+        assert with_exclusion.elapsed_seconds < without_exclusion.elapsed_seconds
+
+    def test_row_layout_slowest(self, workload):
+        dbms = DbmsX()
+        row_time = dbms.run_workload(workload, row_partitioning(workload.schema))
+        column_time = dbms.run_workload(workload, column_partitioning(workload.schema))
+        assert row_time.elapsed_seconds > column_time.elapsed_seconds
+
+    def test_varying_length_penalises_column_groups(self, workload):
+        """Under varying-length encoding multi-attribute groups pay intra-group
+        reconstruction that pure columns do not."""
+        grouped = Partitioning(workload.schema, [[0, 1, 2, 3], [4]])
+        column = column_partitioning(workload.schema)
+        dbms = DbmsX(DbmsXConfig(compression=VaryingLengthCompression()))
+        decode_grouped = dbms._decode_cost(workload, grouped)
+        decode_column = dbms._decode_cost(workload, column)
+        assert decode_grouped > decode_column == 0.0
+
+    def test_dictionary_reconstruction_cheaper_than_varying(self, workload):
+        grouped = Partitioning(workload.schema, [[0, 1, 2, 3], [4]])
+        varying = DbmsX(DbmsXConfig(compression=VaryingLengthCompression()))
+        dictionary = DbmsX(DbmsXConfig(compression=DictionaryCompression()))
+        assert dictionary._decode_cost(workload, grouped) < varying._decode_cost(
+            workload, grouped
+        )
+
+    def test_run_benchmark_requires_layout_per_table(self, workload):
+        dbms = DbmsX()
+        with pytest.raises(KeyError):
+            dbms.run_benchmark({"partsupp": workload}, {})
+
+    def test_run_benchmark_sums_tables(self, workload):
+        dbms = DbmsX()
+        layouts = {"partsupp": column_partitioning(workload.schema)}
+        total = dbms.run_benchmark({"partsupp": workload}, layouts)
+        assert total == pytest.approx(
+            dbms.run_workload(workload, layouts["partsupp"]).elapsed_seconds
+        )

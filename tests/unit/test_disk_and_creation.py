@@ -1,0 +1,77 @@
+"""Unit tests for disk characteristics and the creation-time model."""
+
+import pytest
+
+from repro.core.partitioning import column_partitioning, row_partitioning
+from repro.cost.creation import estimate_creation_time
+from repro.cost.disk import (
+    DEFAULT_DISK,
+    DiskCharacteristics,
+    DiskParameterError,
+    KB,
+    MB,
+)
+from repro.workload import tpch
+
+
+class TestDiskCharacteristics:
+    def test_paper_defaults(self):
+        assert DEFAULT_DISK.block_size == 8 * KB
+        assert DEFAULT_DISK.buffer_size == 8 * MB
+        assert DEFAULT_DISK.read_bandwidth == pytest.approx(90.07 * MB)
+        assert DEFAULT_DISK.write_bandwidth == pytest.approx(64.37 * MB)
+        assert DEFAULT_DISK.seek_time == pytest.approx(4.84e-3)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DiskParameterError):
+            DiskCharacteristics(block_size=0)
+        with pytest.raises(DiskParameterError):
+            DiskCharacteristics(buffer_size=-1)
+        with pytest.raises(DiskParameterError):
+            DiskCharacteristics(read_bandwidth=0)
+        with pytest.raises(DiskParameterError):
+            DiskCharacteristics(seek_time=-1)
+
+    def test_with_methods_return_modified_copies(self):
+        disk = DEFAULT_DISK
+        assert disk.with_buffer_size(MB).buffer_size == MB
+        assert disk.with_block_size(4 * KB).block_size == 4 * KB
+        assert disk.with_read_bandwidth(50 * MB).read_bandwidth == 50 * MB
+        assert disk.with_seek_time(1e-3).seek_time == 1e-3
+        # The original is unchanged (frozen dataclass).
+        assert disk.buffer_size == 8 * MB
+
+    def test_describe_is_compact(self):
+        text = DEFAULT_DISK.describe()
+        assert "8MB" in text and "8KB" in text
+
+
+class TestCreationTime:
+    def test_creation_time_positive_and_scales_with_data(self):
+        small = tpch.table_schema("partsupp", scale_factor=0.1)
+        large = tpch.table_schema("partsupp", scale_factor=1.0)
+        t_small = estimate_creation_time(row_partitioning(small))
+        t_large = estimate_creation_time(row_partitioning(large))
+        assert 0 < t_small < t_large
+
+    def test_more_partitions_cost_more_seeks(self):
+        schema = tpch.table_schema("partsupp", scale_factor=0.1)
+        row_time = estimate_creation_time(row_partitioning(schema))
+        column_time = estimate_creation_time(column_partitioning(schema))
+        assert column_time > row_time
+
+    def test_include_read_flag(self):
+        schema = tpch.table_schema("partsupp", scale_factor=0.1)
+        layout = row_partitioning(schema)
+        with_read = estimate_creation_time(layout, include_read=True)
+        without_read = estimate_creation_time(layout, include_read=False)
+        assert with_read > without_read
+
+    def test_sf10_creation_time_is_hundreds_of_seconds(self):
+        """The paper reports ~420 s to transform TPC-H SF 10; our model should
+        land in the same order of magnitude (the whole database)."""
+        total = 0.0
+        for table in tpch.table_names():
+            schema = tpch.table_schema(table, scale_factor=10)
+            total += estimate_creation_time(row_partitioning(schema))
+        assert 100 < total < 2000

@@ -1,0 +1,95 @@
+"""Unit tests for set-partition enumeration, Bell and Stirling numbers."""
+
+import pytest
+
+from repro.algorithms.support.enumeration import (
+    bell_number,
+    count_set_partitions,
+    restricted_growth_strings,
+    set_partitions,
+    stirling_second,
+)
+
+
+class TestStirling:
+    def test_known_values(self):
+        assert stirling_second(0, 0) == 1
+        assert stirling_second(3, 2) == 3
+        assert stirling_second(4, 2) == 7
+        assert stirling_second(5, 3) == 25
+        assert stirling_second(4, 5) == 0
+
+    def test_boundaries(self):
+        assert stirling_second(6, 1) == 1
+        assert stirling_second(6, 6) == 1
+        assert stirling_second(3, 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            stirling_second(-1, 0)
+
+
+class TestBellNumbers:
+    def test_known_values(self):
+        # B_0..B_10
+        expected = [1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975]
+        assert [bell_number(n) for n in range(11)] == expected
+
+    def test_paper_quoted_values(self):
+        # "for the TPC-H customer table, having eight attributes, the number of
+        # possible vertical partitionings is given by B_8 = 4140"
+        assert bell_number(8) == 4140
+        # For the 16 attributes of the TPC-H Lineitem table the search space
+        # explodes (the paper quotes "10.5 million"; the exact Bell number is
+        # B_16 = 10,480,142,147).
+        assert bell_number(16) == 10_480_142_147
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bell_number(-1)
+
+    def test_alias(self):
+        assert count_set_partitions(5) == bell_number(5)
+
+
+class TestRestrictedGrowthStrings:
+    def test_zero_length(self):
+        assert list(restricted_growth_strings(0)) == [()]
+
+    def test_counts_match_bell_numbers(self):
+        for n in range(1, 8):
+            assert sum(1 for _ in restricted_growth_strings(n)) == bell_number(n)
+
+    def test_strings_are_valid_rgs(self):
+        for rgs in restricted_growth_strings(5):
+            assert rgs[0] == 0
+            running_max = 0
+            for value in rgs[1:]:
+                assert value <= running_max + 1
+                running_max = max(running_max, value)
+
+    def test_no_duplicates(self):
+        strings = list(restricted_growth_strings(6))
+        assert len(strings) == len(set(strings))
+
+
+class TestSetPartitions:
+    def test_empty_input(self):
+        assert list(set_partitions([])) == [[]]
+
+    def test_counts_match_bell_numbers(self):
+        assert sum(1 for _ in set_partitions(range(6))) == bell_number(6)
+
+    def test_partitions_are_complete_and_disjoint(self):
+        items = [10, 20, 30, 40]
+        for blocks in set_partitions(items):
+            flattened = [item for block in blocks for item in block]
+            assert sorted(flattened) == sorted(items)
+            assert len(flattened) == len(set(flattened))
+
+    def test_all_partitions_distinct(self):
+        seen = set()
+        for blocks in set_partitions(range(5)):
+            signature = frozenset(frozenset(block) for block in blocks)
+            assert signature not in seen
+            seen.add(signature)

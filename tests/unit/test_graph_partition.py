@@ -1,0 +1,58 @@
+"""Unit tests for the k-way graph partitioner used by HYRISE."""
+
+import pytest
+
+from repro.algorithms.support.graph_partition import kway_partition
+
+
+class TestKwayPartition:
+    def test_empty_graph(self):
+        assert kway_partition([], {}, max_nodes_per_part=2) == []
+
+    def test_everything_fits_in_one_part(self):
+        groups = kway_partition([1, 2, 3], {(1, 2): 1.0}, max_nodes_per_part=5)
+        assert groups == [{1, 2, 3}]
+
+    def test_capacity_respected(self):
+        nodes = list(range(7))
+        groups = kway_partition(nodes, {}, max_nodes_per_part=3)
+        assert all(len(group) <= 3 for group in groups)
+        covered = set().union(*groups)
+        assert covered == set(nodes)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            kway_partition([1], {}, max_nodes_per_part=0)
+
+    def test_strongly_connected_pairs_stay_together(self):
+        nodes = ["a", "b", "c", "d"]
+        weights = {("a", "b"): 100.0, ("c", "d"): 100.0, ("a", "c"): 0.1}
+        groups = kway_partition(nodes, weights, max_nodes_per_part=2)
+        as_sets = [frozenset(group) for group in groups]
+        assert frozenset({"a", "b"}) in as_sets
+        assert frozenset({"c", "d"}) in as_sets
+
+    def test_every_node_assigned_exactly_once(self):
+        nodes = list(range(10))
+        weights = {(i, i + 1): float(i) for i in range(9)}
+        groups = kway_partition(nodes, weights, max_nodes_per_part=4)
+        counts = {}
+        for group in groups:
+            for node in group:
+                counts[node] = counts.get(node, 0) + 1
+        assert all(count == 1 for count in counts.values())
+        assert set(counts) == set(nodes)
+
+    def test_deterministic(self):
+        nodes = list(range(8))
+        weights = {(i, (i + 3) % 8): 1.0 + i for i in range(8)}
+        first = kway_partition(nodes, weights, max_nodes_per_part=3)
+        second = kway_partition(nodes, weights, max_nodes_per_part=3)
+        assert first == second
+
+    def test_edge_direction_ignored(self):
+        groups_forward = kway_partition([0, 1, 2, 3], {(0, 1): 5.0}, 2)
+        groups_backward = kway_partition([0, 1, 2, 3], {(1, 0): 5.0}, 2)
+        assert [frozenset(g) for g in groups_forward] == [
+            frozenset(g) for g in groups_backward
+        ]

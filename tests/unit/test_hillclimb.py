@@ -1,0 +1,66 @@
+"""Unit tests for the HillClimb algorithm."""
+
+import pytest
+
+from repro.algorithms.brute_force import BruteForceAlgorithm
+from repro.algorithms.hillclimb import HillClimbAlgorithm
+from repro.core.partitioning import column_partitioning
+from repro.cost.hdd import HDDCostModel
+from repro.workload import synthetic
+
+
+class TestHillClimb:
+    def test_matches_brute_force_on_small_tables(self, partsupp_workload, hdd_model):
+        """Paper Lesson 1: HillClimb finds the brute-force-optimal layouts."""
+        hillclimb = HillClimbAlgorithm().run(partsupp_workload, hdd_model)
+        brute = BruteForceAlgorithm().run(partsupp_workload, hdd_model)
+        assert hillclimb.estimated_cost == pytest.approx(brute.estimated_cost, rel=1e-9)
+
+    def test_matches_brute_force_on_customer(self, customer_workload, hdd_model):
+        hillclimb = HillClimbAlgorithm().run(customer_workload, hdd_model)
+        brute = BruteForceAlgorithm().run(customer_workload, hdd_model)
+        assert hillclimb.estimated_cost == pytest.approx(brute.estimated_cost, rel=1e-9)
+
+    def test_never_worse_than_column_layout(self, lineitem_workload, hdd_model):
+        """Merging starts from the column layout and only accepts improvements."""
+        result = HillClimbAlgorithm().run(lineitem_workload, hdd_model)
+        column_cost = hdd_model.workload_cost(
+            lineitem_workload, column_partitioning(lineitem_workload.schema)
+        )
+        assert result.estimated_cost <= column_cost * 1.0001
+
+    def test_merges_co_accessed_attributes(self, intro_workload, hdd_model):
+        layout = HillClimbAlgorithm().compute(intro_workload, hdd_model)
+        names = layout.as_names()
+        assert ("partkey", "suppkey") in names
+
+    def test_metadata_counts_merges(self, intro_workload, hdd_model):
+        algorithm = HillClimbAlgorithm()
+        algorithm.run(intro_workload, hdd_model)
+        metadata = algorithm.last_run_metadata()
+        assert metadata["merges"] >= 1
+        assert metadata["iterations"] >= metadata["merges"]
+
+    def test_dictionary_variant_produces_same_layout(self, partsupp_workload, hdd_model):
+        """The ablation: with or without the cost dictionary the result is identical."""
+        plain = HillClimbAlgorithm(use_cost_dictionary=False).run(
+            partsupp_workload, hdd_model
+        )
+        with_dictionary = HillClimbAlgorithm(use_cost_dictionary=True).run(
+            partsupp_workload, hdd_model
+        )
+        assert plain.partitioning == with_dictionary.partitioning
+
+    def test_fragmented_workload_stays_columnar(self, hdd_model):
+        """With disjoint query footprints there is nothing to merge except
+        unreferenced attributes, so the layout stays close to columnar."""
+        schema = synthetic.synthetic_table(8, row_count=100_000, random_state=2)
+        workload = synthetic.fragmented_workload(
+            schema, 4, attributes_per_query=2, random_state=2
+        )
+        layout = HillClimbAlgorithm().compute(workload, hdd_model)
+        # Each query footprint (2 attributes) may merge, but footprints of
+        # different queries must not (that would only add unnecessary reads).
+        for query in workload:
+            for partition in layout.referenced_partitions(query):
+                assert partition.attributes <= query.index_set

@@ -1,0 +1,49 @@
+"""Unit tests for the HYRISE layout algorithm."""
+
+import pytest
+
+from repro.algorithms.hillclimb import HillClimbAlgorithm
+from repro.algorithms.hyrise import HyriseAlgorithm
+from repro.cost.mainmemory import MainMemoryCostModel
+
+
+class TestHyrise:
+    def test_rejects_bad_subgraph_size(self):
+        with pytest.raises(ValueError):
+            HyriseAlgorithm(max_primary_partitions_per_subgraph=0)
+
+    def test_subgraphs_respect_size_limit(self, lineitem_workload, hdd_model):
+        algorithm = HyriseAlgorithm(max_primary_partitions_per_subgraph=3)
+        algorithm.run(lineitem_workload, hdd_model)
+        metadata = algorithm.last_run_metadata()
+        assert all(len(subgraph) <= 3 for subgraph in metadata["subgraphs"])
+        # Subgraphs cover every primary partition exactly once.
+        nodes = sorted(node for subgraph in metadata["subgraphs"] for node in subgraph)
+        assert nodes == list(range(len(metadata["primary_partitions"])))
+
+    def test_large_k_degenerates_to_autopart_quality(self, customer_workload, hdd_model):
+        """With all primary partitions in one subgraph HYRISE equals the
+        unrestricted bottom-up merge."""
+        hyrise = HyriseAlgorithm(max_primary_partitions_per_subgraph=64).run(
+            customer_workload, hdd_model
+        )
+        hillclimb = HillClimbAlgorithm().run(customer_workload, hdd_model)
+        assert hyrise.estimated_cost == pytest.approx(hillclimb.estimated_cost, rel=1e-6)
+
+    def test_close_to_hillclimb_on_lineitem(self, lineitem_workload, hdd_model):
+        """The paper reports HYRISE within ~2% of the optimum on TPC-H."""
+        hyrise = HyriseAlgorithm().run(lineitem_workload, hdd_model)
+        hillclimb = HillClimbAlgorithm().run(lineitem_workload, hdd_model)
+        assert hyrise.estimated_cost <= hillclimb.estimated_cost * 1.05
+
+    def test_primary_partitions_never_split(self, lineitem_workload, hdd_model):
+        layout = HyriseAlgorithm().compute(lineitem_workload, hdd_model)
+        for fragment in lineitem_workload.primary_partitions():
+            containing = [p for p in layout if fragment & p.attributes]
+            assert len(containing) == 1
+
+    def test_works_with_main_memory_cost_model(self, customer_workload):
+        """HYRISE's native setting: optimise for cache misses."""
+        model = MainMemoryCostModel()
+        result = HyriseAlgorithm().run(customer_workload, model)
+        assert result.estimated_cost > 0

@@ -1,0 +1,88 @@
+"""Unit tests for the attribute-disjoint knapsack used by Trojan."""
+
+import pytest
+
+from repro.algorithms.support.knapsack import KnapsackItem, solve_knapsack
+
+
+def item(attributes, benefit):
+    return KnapsackItem(attributes=frozenset(attributes), benefit=benefit)
+
+
+class TestKnapsackItem:
+    def test_rejects_empty_attribute_set(self):
+        with pytest.raises(ValueError):
+            KnapsackItem(attributes=frozenset(), benefit=1.0)
+
+
+class TestSolveKnapsack:
+    def test_empty_input(self):
+        assert solve_knapsack([]) == []
+
+    def test_single_item(self):
+        items = [item({0, 1}, 5.0)]
+        assert solve_knapsack(items) == items
+
+    def test_picks_disjoint_combination_over_single_big_item(self):
+        items = [
+            item({0, 1, 2}, 5.0),
+            item({0, 1}, 4.0),
+            item({2, 3}, 4.0),
+        ]
+        chosen = solve_knapsack(items)
+        benefits = sum(chosen_item.benefit for chosen_item in chosen)
+        assert benefits == pytest.approx(8.0)
+        # The two smaller, disjoint items beat the single overlapping one.
+        assert len(chosen) == 2
+
+    def test_respects_disjointness(self):
+        items = [item({0, 1}, 3.0), item({1, 2}, 3.0), item({2, 3}, 2.0)]
+        chosen = solve_knapsack(items)
+        used = set()
+        for chosen_item in chosen:
+            assert not used & chosen_item.attributes
+            used |= chosen_item.attributes
+
+    def test_max_items_cap(self):
+        items = [item({i}, 1.0) for i in range(5)]
+        chosen = solve_knapsack(items, max_items=2)
+        assert len(chosen) == 2
+
+    def test_negative_benefit_items_are_skipped(self):
+        items = [item({0}, -1.0), item({1}, 2.0)]
+        chosen = solve_knapsack(items)
+        assert chosen == [items[1]]
+
+    def test_optimal_against_exhaustive_search(self):
+        """Cross-check against brute force over all subsets for a small instance."""
+        from itertools import combinations
+
+        items = [
+            item({0, 1}, 4.0),
+            item({2}, 1.5),
+            item({1, 2}, 3.0),
+            item({3, 4}, 2.5),
+            item({0, 3}, 3.5),
+        ]
+
+        def best_exhaustive():
+            best = 0.0
+            for size in range(len(items) + 1):
+                for subset in combinations(items, size):
+                    used = set()
+                    ok = True
+                    for candidate in subset:
+                        if used & candidate.attributes:
+                            ok = False
+                            break
+                        used |= candidate.attributes
+                    if ok:
+                        best = max(best, sum(c.benefit for c in subset))
+            return best
+
+        chosen = solve_knapsack(items)
+        assert sum(c.benefit for c in chosen) == pytest.approx(best_exhaustive())
+
+    def test_deterministic(self):
+        items = [item({0}, 1.0), item({1}, 1.0), item({2}, 1.0)]
+        assert solve_knapsack(items) == solve_knapsack(items)

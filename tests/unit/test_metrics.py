@@ -1,0 +1,124 @@
+"""Unit tests for the comparison metrics."""
+
+import math
+
+import pytest
+
+from repro.core.partitioning import (
+    Partitioning,
+    column_partitioning,
+    row_partitioning,
+)
+from repro.metrics.fragility import fragility, normalized_cost
+from repro.metrics.payoff import payoff_fraction
+from repro.metrics.quality import (
+    average_reconstruction_joins,
+    bytes_needed,
+    bytes_read,
+    distance_from_pmv,
+    improvement_over,
+    unnecessary_data_fraction,
+)
+from repro.cost.hdd import HDDCostModel
+from repro.cost.disk import DEFAULT_DISK, MB
+
+
+class TestQualityMetrics:
+    def test_row_layout_reads_lots_of_unnecessary_data(self, intro_workload):
+        row = row_partitioning(intro_workload.schema)
+        fraction = unnecessary_data_fraction(intro_workload, row)
+        # The Comment column dominates the row size but Q1 never needs it.
+        assert fraction > 0.3
+
+    def test_column_layout_reads_no_unnecessary_data(self, intro_workload):
+        column = column_partitioning(intro_workload.schema)
+        assert unnecessary_data_fraction(intro_workload, column) == pytest.approx(0.0)
+
+    def test_bytes_read_at_least_bytes_needed(self, intro_workload):
+        for layout in (
+            row_partitioning(intro_workload.schema),
+            column_partitioning(intro_workload.schema),
+            Partitioning(intro_workload.schema, [[0, 1], [2, 3], [4]]),
+        ):
+            assert bytes_read(intro_workload, layout) >= bytes_needed(
+                intro_workload, layout
+            )
+
+    def test_reconstruction_joins_row_layout_is_zero(self, intro_workload):
+        row = row_partitioning(intro_workload.schema)
+        assert average_reconstruction_joins(intro_workload, row) == 0.0
+
+    def test_reconstruction_joins_column_layout(self, intro_workload):
+        column = column_partitioning(intro_workload.schema)
+        # Q1 touches 4 columns (3 joins), Q2 touches 3 columns (2 joins).
+        assert average_reconstruction_joins(intro_workload, column) == pytest.approx(2.5)
+
+    def test_reconstruction_joins_weighted(self, intro_workload):
+        column = column_partitioning(intro_workload.schema)
+        reweighted = intro_workload.subset(["Q1", "Q2"])
+        assert average_reconstruction_joins(reweighted, column) == pytest.approx(2.5)
+
+    def test_improvement_over(self):
+        assert improvement_over(100.0, 80.0) == pytest.approx(0.2)
+        assert improvement_over(100.0, 120.0) == pytest.approx(-0.2)
+        assert improvement_over(0.0, 10.0) == 0.0
+
+    def test_distance_from_pmv_non_negative_for_legal_layouts(self, intro_workload):
+        model = HDDCostModel()
+        for layout in (
+            row_partitioning(intro_workload.schema),
+            column_partitioning(intro_workload.schema),
+        ):
+            assert distance_from_pmv(intro_workload, layout, model) >= 0.0
+
+    def test_distance_from_pmv_accepts_precomputed_reference(self, intro_workload):
+        model = HDDCostModel()
+        column = column_partitioning(intro_workload.schema)
+        direct = distance_from_pmv(intro_workload, column, model)
+        cached = distance_from_pmv(intro_workload, column, model, pmv_cost=None)
+        assert direct == pytest.approx(cached)
+
+
+class TestFragilityMetrics:
+    def test_zero_when_setting_unchanged(self, intro_workload):
+        model = HDDCostModel()
+        layout = column_partitioning(intro_workload.schema)
+        assert fragility(intro_workload, layout, model, model) == pytest.approx(0.0)
+
+    def test_smaller_buffer_increases_cost(self, intro_workload):
+        old = HDDCostModel(DEFAULT_DISK)
+        new = HDDCostModel(DEFAULT_DISK.with_buffer_size(64 * 1024))
+        layout = column_partitioning(intro_workload.schema)
+        assert fragility(intro_workload, layout, old, new) > 0.0
+
+    def test_larger_buffer_never_hurts(self, intro_workload):
+        old = HDDCostModel(DEFAULT_DISK)
+        new = HDDCostModel(DEFAULT_DISK.with_buffer_size(800 * MB))
+        layout = column_partitioning(intro_workload.schema)
+        assert fragility(intro_workload, layout, old, new) <= 0.0
+
+    def test_normalized_cost_of_column_layout_is_one(self, intro_workload):
+        model = HDDCostModel()
+        column = column_partitioning(intro_workload.schema)
+        assert normalized_cost(intro_workload, column, model) == pytest.approx(1.0)
+
+    def test_normalized_cost_of_row_layout_above_one(self, intro_workload):
+        model = HDDCostModel()
+        row = row_partitioning(intro_workload.schema)
+        assert normalized_cost(intro_workload, row, model) > 1.0
+
+
+class TestPayoffMetric:
+    def test_fraction_of_workload(self):
+        # Investing 10 s to save 40 s per workload run pays off after 25%.
+        assert payoff_fraction(4.0, 6.0, 100.0, 60.0) == pytest.approx(0.25)
+
+    def test_negative_when_layout_is_worse(self):
+        assert payoff_fraction(1.0, 1.0, 50.0, 60.0) < 0.0
+
+    def test_infinite_when_no_improvement(self):
+        assert math.isinf(payoff_fraction(1.0, 1.0, 50.0, 50.0))
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ValueError):
+            payoff_fraction(-1.0, 0.0, 10.0, 5.0)

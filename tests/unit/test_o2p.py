@@ -1,0 +1,83 @@
+"""Unit tests for the O2P online partitioning algorithm."""
+
+import pytest
+
+from repro.algorithms.navathe import NavatheAlgorithm
+from repro.algorithms.o2p import O2PAlgorithm
+from repro.core.partitioning import Partitioning
+from repro.workload.query import Query
+from repro.workload.schema import Column, TableSchema
+from repro.workload.workload import Workload
+
+
+class TestO2P:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            O2PAlgorithm(max_splits_per_step=0)
+
+    def test_produces_valid_partitioning(self, lineitem_workload, hdd_model):
+        layout = O2PAlgorithm().compute(lineitem_workload, hdd_model)
+        Partitioning(layout.schema, layout.partitions)
+
+    def test_at_most_one_split_per_query(self, lineitem_workload, hdd_model):
+        algorithm = O2PAlgorithm(max_splits_per_step=1)
+        layout = algorithm.compute(lineitem_workload, hdd_model)
+        metadata = algorithm.last_run_metadata()
+        assert metadata["splits"] <= metadata["steps"]
+        assert layout.partition_count == metadata["splits"] + 1
+
+    def test_splits_cleanly_separable_online_workload(self, hdd_model):
+        schema = TableSchema(
+            "t", [Column(n, 8) for n in ("a", "b", "c", "d")], row_count=100_000
+        )
+        workload = Workload(
+            schema,
+            [
+                Query("Q1", ["a", "b"]),
+                Query("Q2", ["c", "d"]),
+                Query("Q3", ["a", "b"]),
+                Query("Q4", ["c", "d"]),
+            ],
+        )
+        layout = O2PAlgorithm().compute(workload, hdd_model)
+        groups = set(layout.as_names())
+        assert ("a", "b") in groups
+        assert ("c", "d") in groups
+
+    def test_online_quality_close_to_navathe(self, lineitem_workload, hdd_model):
+        """O2P is the online counterpart of Navathe: same class of layouts
+        (the paper measures 481 s vs 506 s — within ~15% of each other)."""
+        o2p = O2PAlgorithm().run(lineitem_workload, hdd_model)
+        navathe = NavatheAlgorithm().run(lineitem_workload, hdd_model)
+        ratio = o2p.estimated_cost / navathe.estimated_cost
+        assert 0.7 < ratio < 1.5
+
+    def test_query_order_matters(self, hdd_model):
+        """An online algorithm may commit to early splits that a different
+        arrival order would avoid — but every order must yield a valid layout."""
+        schema = TableSchema(
+            "t", [Column(n, 8) for n in ("a", "b", "c", "d", "e")], row_count=50_000
+        )
+        queries = [
+            Query("Q1", ["a", "b"]),
+            Query("Q2", ["c", "d", "e"]),
+            Query("Q3", ["b", "c"]),
+        ]
+        forward = O2PAlgorithm().compute(Workload(schema, queries), hdd_model)
+        backward = O2PAlgorithm().compute(
+            Workload(schema, list(reversed(queries))), hdd_model
+        )
+        for layout in (forward, backward):
+            Partitioning(layout.schema, layout.partitions)
+
+    def test_metadata_records_final_order_and_splits(self, customer_workload, hdd_model):
+        algorithm = O2PAlgorithm()
+        algorithm.run(customer_workload, hdd_model)
+        metadata = algorithm.last_run_metadata()
+        assert sorted(metadata["final_order"]) == list(
+            range(customer_workload.attribute_count)
+        )
+        assert all(
+            0 < point < customer_workload.attribute_count
+            for point in metadata["split_points"]
+        )

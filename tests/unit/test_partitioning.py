@@ -1,0 +1,124 @@
+"""Unit tests for Partition and Partitioning."""
+
+import pytest
+
+from repro.core.partitioning import (
+    Partition,
+    Partitioning,
+    PartitioningError,
+    column_partitioning,
+    partitioning_from_names,
+    row_partitioning,
+)
+from repro.workload.query import ResolvedQuery
+
+
+class TestPartition:
+    def test_basic_construction(self):
+        partition = Partition([2, 0, 1])
+        assert partition.sorted_attributes() == (0, 1, 2)
+        assert len(partition) == 3
+        assert 1 in partition
+
+    def test_rejects_empty(self):
+        with pytest.raises(PartitioningError):
+            Partition([])
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(PartitioningError):
+            Partition([-1, 0])
+
+    def test_row_size(self, small_schema):
+        assert Partition([0, 1]).row_size(small_schema) == 8
+        assert Partition([4]).row_size(small_schema) == 199
+
+    def test_is_referenced_by(self):
+        partition = Partition([0, 1])
+        assert partition.is_referenced_by(ResolvedQuery("Q", (1, 3)))
+        assert not partition.is_referenced_by(ResolvedQuery("Q", (2, 3)))
+
+    def test_merged_with(self):
+        merged = Partition([0]).merged_with(Partition([2]))
+        assert merged.attributes == frozenset({0, 2})
+
+    def test_attribute_names(self, small_schema):
+        assert Partition([0, 4]).attribute_names(small_schema) == ("partkey", "comment")
+
+    def test_ordering(self):
+        assert Partition([0]) < Partition([1])
+
+
+class TestPartitioning:
+    def test_valid_partitioning(self, small_schema):
+        layout = Partitioning(small_schema, [[0, 1], [2, 3], [4]])
+        assert layout.partition_count == 3
+        assert not layout.is_row_layout()
+        assert not layout.is_column_layout()
+
+    def test_rejects_overlapping_partitions(self, small_schema):
+        with pytest.raises(PartitioningError, match="more than one"):
+            Partitioning(small_schema, [[0, 1], [1, 2], [3, 4]])
+
+    def test_rejects_missing_attributes(self, small_schema):
+        with pytest.raises(PartitioningError, match="misses"):
+            Partitioning(small_schema, [[0, 1], [2]])
+
+    def test_rejects_unknown_attributes(self, small_schema):
+        with pytest.raises(PartitioningError, match="unknown"):
+            Partitioning(small_schema, [[0, 1, 2, 3, 4, 7]])
+
+    def test_validate_false_skips_checks(self, small_schema):
+        # Used internally by algorithms that construct throwaway candidates.
+        layout = Partitioning(small_schema, [[0, 1]], validate=False)
+        assert layout.partition_count == 1
+
+    def test_partition_of(self, small_schema):
+        layout = Partitioning(small_schema, [[0, 1], [2, 3, 4]])
+        assert layout.partition_of(3).attributes == frozenset({2, 3, 4})
+        with pytest.raises(PartitioningError):
+            layout.partition_of(9)
+
+    def test_referenced_partitions(self, small_schema):
+        layout = Partitioning(small_schema, [[0, 1], [2, 3], [4]])
+        query = ResolvedQuery("Q", (0, 4))
+        referenced = layout.referenced_partitions(query)
+        assert len(referenced) == 2
+
+    def test_equality_ignores_partition_order(self, small_schema):
+        a = Partitioning(small_schema, [[0, 1], [2, 3], [4]])
+        b = Partitioning(small_schema, [[4], [2, 3], [1, 0]])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self, small_schema):
+        a = Partitioning(small_schema, [[0, 1], [2, 3], [4]])
+        b = Partitioning(small_schema, [[0], [1], [2, 3], [4]])
+        assert a != b
+
+    def test_as_names(self, small_schema):
+        layout = Partitioning(small_schema, [[0, 1], [2, 3], [4]])
+        assert ("partkey", "suppkey") in layout.as_names()
+
+    def test_describe_lists_groups(self, small_schema):
+        text = Partitioning(small_schema, [[0, 1], [2, 3], [4]]).describe()
+        assert "partkey" in text and "comment" in text
+
+
+class TestFactories:
+    def test_row_partitioning(self, small_schema):
+        layout = row_partitioning(small_schema)
+        assert layout.is_row_layout()
+        assert layout.partition_count == 1
+
+    def test_column_partitioning(self, small_schema):
+        layout = column_partitioning(small_schema)
+        assert layout.is_column_layout()
+        assert layout.partition_count == small_schema.attribute_count
+
+    def test_partitioning_from_names(self, small_schema):
+        layout = partitioning_from_names(
+            small_schema,
+            [["partkey", "suppkey"], ["availqty", "supplycost"], ["comment"]],
+        )
+        assert layout.partition_count == 3
+        assert layout.partition_of(0).attributes == frozenset({0, 1})

@@ -1,0 +1,75 @@
+"""Unit tests for the query model."""
+
+import pytest
+
+from repro.workload.query import Query, QueryError, ResolvedQuery, make_query
+
+
+class TestQuery:
+    def test_basic_construction(self):
+        query = Query("Q1", ["a", "b"], weight=2.0, selectivity=0.5)
+        assert query.name == "Q1"
+        assert query.attributes == frozenset({"a", "b"})
+        assert query.weight == 2.0
+        assert query.selectivity == 0.5
+
+    def test_duplicate_attributes_collapse(self):
+        query = Query("Q1", ["a", "a", "b"])
+        assert query.attributes == frozenset({"a", "b"})
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(QueryError):
+            Query("", ["a"])
+
+    def test_rejects_empty_attributes(self):
+        with pytest.raises(QueryError):
+            Query("Q1", [])
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(QueryError):
+            Query("Q1", ["a"], weight=0)
+
+    def test_rejects_bad_selectivity(self):
+        with pytest.raises(QueryError):
+            Query("Q1", ["a"], selectivity=0.0)
+        with pytest.raises(QueryError):
+            Query("Q1", ["a"], selectivity=1.5)
+
+    def test_references(self):
+        query = Query("Q1", ["a", "b"])
+        assert query.references("a")
+        assert not query.references("c")
+
+    def test_with_weight_preserves_other_fields(self):
+        query = Query("Q1", ["a"], selectivity=0.2)
+        reweighted = query.with_weight(5.0)
+        assert reweighted.weight == 5.0
+        assert reweighted.selectivity == 0.2
+        assert reweighted.attributes == query.attributes
+
+    def test_make_query_helper(self):
+        assert make_query("Q9", ["x"]).name == "Q9"
+
+    def test_resolve_against_schema(self, small_schema):
+        query = Query("Q1", ["partkey", "comment"])
+        resolved = query.resolve(small_schema)
+        assert resolved.attribute_indices == (0, 4)
+        assert resolved.name == "Q1"
+
+
+class TestResolvedQuery:
+    def test_index_set_and_membership(self):
+        resolved = ResolvedQuery("Q1", (0, 2, 5))
+        assert resolved.index_set == frozenset({0, 2, 5})
+        assert resolved.references_index(2)
+        assert not resolved.references_index(3)
+        assert len(resolved) == 3
+
+    def test_references_any(self):
+        resolved = ResolvedQuery("Q1", (0, 2))
+        assert resolved.references_any([2, 9])
+        assert not resolved.references_any([1, 3])
+
+    def test_referenced_subset(self):
+        resolved = ResolvedQuery("Q1", (0, 2, 4))
+        assert resolved.referenced_subset([2, 3, 4]) == frozenset({2, 4})

@@ -1,0 +1,120 @@
+"""Unit tests for the table schema model."""
+
+import pytest
+
+from repro.workload.schema import Column, Database, SchemaError, TableSchema
+
+
+class TestColumn:
+    def test_basic_construction(self):
+        column = Column("orderkey", 4, "int")
+        assert column.name == "orderkey"
+        assert column.width == 4
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Column("", 4)
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(SchemaError):
+            Column("x", 0)
+        with pytest.raises(SchemaError):
+            Column("x", -3)
+
+    def test_of_type_numeric(self):
+        assert Column.of_type("a", "int").width == 4
+        assert Column.of_type("b", "decimal").width == 8
+        assert Column.of_type("c", "date").width == 4
+
+    def test_of_type_character_uses_length(self):
+        assert Column.of_type("comment", "varchar", 44).width == 44
+        assert Column.of_type("flag", "char", 1).width == 1
+
+    def test_of_type_rejects_unknown_type(self):
+        with pytest.raises(SchemaError):
+            Column.of_type("x", "blob")
+
+
+class TestTableSchema:
+    def test_basic_properties(self, small_schema):
+        assert small_schema.attribute_count == 5
+        assert small_schema.row_size == 4 + 4 + 4 + 8 + 199
+        assert small_schema.total_bytes == small_schema.row_size * 100_000
+        assert len(small_schema) == 5
+
+    def test_attribute_names_order(self, small_schema):
+        assert small_schema.attribute_names == (
+            "partkey", "suppkey", "availqty", "supplycost", "comment",
+        )
+
+    def test_index_of(self, small_schema):
+        assert small_schema.index_of("partkey") == 0
+        assert small_schema.index_of("comment") == 4
+
+    def test_index_of_unknown_raises(self, small_schema):
+        with pytest.raises(SchemaError, match="no attribute"):
+            small_schema.index_of("nope")
+
+    def test_indices_of_is_sorted(self, small_schema):
+        assert small_schema.indices_of(["comment", "partkey"]) == (0, 4)
+
+    def test_subset_row_size(self, small_schema):
+        assert small_schema.subset_row_size([0, 1]) == 8
+        assert small_schema.subset_row_size([4]) == 199
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            TableSchema("t", [Column("a", 4), Column("a", 8)], 10)
+
+    def test_rejects_empty_columns(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [], 10)
+
+    def test_rejects_negative_row_count(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", 4)], -1)
+
+    def test_scaled_changes_row_count_only(self, small_schema):
+        scaled = small_schema.scaled(2.0)
+        assert scaled.row_count == 200_000
+        assert scaled.columns == small_schema.columns
+
+    def test_scaled_rejects_non_positive_factor(self, small_schema):
+        with pytest.raises(SchemaError):
+            small_schema.scaled(0)
+
+    def test_scaled_keeps_at_least_one_row(self, small_schema):
+        assert small_schema.scaled(1e-9).row_count == 1
+
+    def test_with_row_count(self, small_schema):
+        assert small_schema.with_row_count(42).row_count == 42
+
+    def test_describe_mentions_every_column(self, small_schema):
+        text = small_schema.describe()
+        for column in small_schema.columns:
+            assert column.name in text
+
+
+class TestDatabase:
+    def test_add_and_lookup(self, small_schema):
+        database = Database("db")
+        database.add(small_schema)
+        assert database.table("partsupp_small") is small_schema
+        assert database.table_names() == ["partsupp_small"]
+        assert len(database) == 1
+
+    def test_duplicate_table_rejected(self, small_schema):
+        database = Database("db")
+        database.add(small_schema)
+        with pytest.raises(SchemaError):
+            database.add(small_schema)
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(SchemaError):
+            Database("db").table("missing")
+
+    def test_scaled_scales_all_tables(self, small_schema):
+        database = Database("db")
+        database.add(small_schema)
+        scaled = database.scaled(0.5)
+        assert scaled.table("partsupp_small").row_count == 50_000

@@ -1,0 +1,62 @@
+"""Unit tests for the Star Schema Benchmark definitions."""
+
+import pytest
+
+from repro.workload import ssb
+
+
+class TestSsbSchemas:
+    def test_all_five_tables_present(self):
+        assert set(ssb.table_names()) == {
+            "lineorder", "customer", "supplier", "part", "date",
+        }
+
+    def test_lineorder_has_seventeen_attributes(self):
+        assert ssb.table_schema("lineorder").attribute_count == 17
+
+    def test_date_table_does_not_scale(self):
+        assert ssb.table_schema("date", scale_factor=100).row_count == 2556
+
+    def test_lineorder_scales(self):
+        sf1 = ssb.table_schema("lineorder", scale_factor=1).row_count
+        sf10 = ssb.table_schema("lineorder", scale_factor=10).row_count
+        assert sf10 == pytest.approx(10 * sf1, rel=0.01)
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(KeyError):
+            ssb.table_schema("facts")
+
+    def test_database_contains_all_tables(self):
+        assert len(ssb.ssb_database(scale_factor=1)) == 5
+
+
+class TestSsbWorkloads:
+    def test_thirteen_queries_defined(self):
+        assert len(ssb.SSB_QUERY_ORDER) == 13
+
+    def test_footprints_reference_existing_attributes(self):
+        for query_name, footprint in ssb.SSB_QUERY_FOOTPRINTS.items():
+            for table, attributes in footprint.items():
+                schema = ssb.table_schema(table)
+                for attribute in attributes:
+                    schema.index_of(attribute)
+
+    def test_every_query_touches_lineorder(self):
+        workload = ssb.ssb_workload("lineorder", scale_factor=1)
+        assert workload.query_count == 13
+
+    def test_flight_one_touches_only_lineorder_and_date(self):
+        for name in ("Q1.1", "Q1.2", "Q1.3"):
+            assert set(ssb.SSB_QUERY_FOOTPRINTS[name]) == {"lineorder", "date"}
+
+    def test_workloads_cover_all_tables(self):
+        workloads = ssb.ssb_workloads(scale_factor=1)
+        assert set(workloads) == set(ssb.table_names())
+
+    def test_ssb_access_patterns_less_fragmented_than_tpch(self):
+        """SSB queries share footprints heavily (the paper's motivation for Table 5)."""
+        workload = ssb.ssb_workload("lineorder", scale_factor=1)
+        fragments = workload.primary_partitions()
+        # Far fewer primary partitions than attributes means many attributes
+        # are always co-accessed.
+        assert len(fragments) < workload.attribute_count

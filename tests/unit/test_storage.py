@@ -1,0 +1,169 @@
+"""Unit tests for the storage simulator (pages, engine, data, compression)."""
+
+import numpy as np
+import pytest
+
+from repro.core.partitioning import Partitioning, column_partitioning, row_partitioning
+from repro.cost.disk import DiskCharacteristics, KB, MB
+from repro.storage.compression import (
+    DictionaryCompression,
+    NoCompression,
+    VaryingLengthCompression,
+)
+from repro.storage.data import generate_column_data, generate_table_data
+from repro.storage.engine import SimulatedDisk, StorageEngine
+from repro.storage.pages import PagedFile, PageLayoutError
+from repro.workload.schema import Column
+
+
+class TestPagedFile:
+    def test_page_count(self):
+        file = PagedFile("f", row_size=100, row_count=1000, page_size=1000)
+        assert file.rows_per_page == 10
+        assert file.page_count == 100
+        assert file.size_in_bytes == 100 * 1000
+
+    def test_rows_wider_than_page(self):
+        file = PagedFile("f", row_size=3000, row_count=5, page_size=1000)
+        assert file.rows_per_page == 1
+        assert file.page_count == 5
+
+    def test_empty_file(self):
+        file = PagedFile("f", row_size=10, row_count=0, page_size=1000)
+        assert file.page_count == 0
+
+    def test_page_of_row_and_bounds(self):
+        file = PagedFile("f", row_size=100, row_count=55, page_size=1000)
+        assert file.page_of_row(0) == 0
+        assert file.page_of_row(54) == 5
+        with pytest.raises(PageLayoutError):
+            file.page_of_row(55)
+
+    def test_pages_iteration_covers_all_rows(self):
+        file = PagedFile("f", row_size=100, row_count=55, page_size=1000)
+        pages = list(file.pages())
+        assert len(pages) == file.page_count
+        assert sum(page.row_count for page in pages) == 55
+        assert pages[-1].last_row == 54
+
+    def test_pages_for_rows(self):
+        file = PagedFile("f", row_size=100, row_count=100, page_size=1000)
+        assert file.pages_for_rows([0, 5, 15, 95]) == [0, 1, 9]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PageLayoutError):
+            PagedFile("f", row_size=0, row_count=10, page_size=100)
+        with pytest.raises(PageLayoutError):
+            PagedFile("f", row_size=10, row_count=-1, page_size=100)
+
+
+class TestDataGeneration:
+    def test_character_columns_use_fixed_width_bytes(self):
+        column = Column.of_type("comment", "varchar", 20)
+        values = generate_column_data(column, 100, random_state=0)
+        assert values.dtype == np.dtype("S20")
+        assert len(values) == 100
+
+    def test_numeric_columns(self):
+        assert generate_column_data(Column("k", 4, "int"), 50, random_state=0).dtype == np.int64
+        assert generate_column_data(Column("p", 8, "decimal"), 50, random_state=0).dtype == np.float64
+
+    def test_deterministic(self):
+        column = Column("k", 4, "int")
+        a = generate_column_data(column, 100, random_state=42)
+        b = generate_column_data(column, 100, random_state=42)
+        assert np.array_equal(a, b)
+
+    def test_distinct_value_override(self):
+        column = Column("flag", 1, "char(1)")
+        values = generate_column_data(column, 1000, distinct_values=2, random_state=0)
+        assert len(np.unique(values)) <= 2
+
+    def test_generate_table_data(self, small_schema):
+        data = generate_table_data(small_schema, row_count=200, random_state=0)
+        assert set(data) == set(small_schema.attribute_names)
+        assert all(len(values) == 200 for values in data.values())
+
+    def test_negative_row_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_column_data(Column("k", 4, "int"), -1)
+
+
+class TestCompressionSchemes:
+    def test_no_compression_identity(self):
+        column = Column.of_type("comment", "varchar", 44)
+        assert NoCompression().effective_width(column) == 44.0
+
+    def test_varying_length_shrinks_strings_and_numbers(self):
+        scheme = VaryingLengthCompression()
+        assert scheme.effective_width(Column.of_type("comment", "varchar", 100)) < 100
+        assert scheme.effective_width(Column("key", 4, "int")) <= 4
+        assert not scheme.is_fixed_width()
+
+    def test_dictionary_width_from_distinct_count(self):
+        scheme = DictionaryCompression()
+        column = Column.of_type("flag", "char", 10)
+        values = np.array([b"a", b"b", b"c"] * 10)
+        assert scheme.effective_width(column, values) == 1.0
+        assert scheme.is_fixed_width()
+
+    def test_dictionary_default_without_statistics(self):
+        scheme = DictionaryCompression()
+        assert scheme.effective_width(Column.of_type("comment", "varchar", 100)) == 4.0
+
+
+class TestStorageEngine:
+    def test_scan_reads_only_referenced_partitions(self, intro_workload):
+        layout = Partitioning(intro_workload.schema, [[0, 1], [2, 3], [4]])
+        engine = StorageEngine(layout)
+        q1 = intro_workload.query("Q1")  # does not touch the comment partition
+        stats = engine.scan_query(q1)
+        assert stats.partitions_read == 2
+        comment_file = engine.file_for(layout.partition_of(4))
+        assert stats.blocks_read < sum(f.page_count for f in engine.files)
+        assert stats.blocks_read == sum(
+            f.page_count for f in engine.files if f is not comment_file
+        )
+
+    def test_row_layout_reads_everything_for_every_query(self, intro_workload):
+        engine = StorageEngine(row_partitioning(intro_workload.schema))
+        q1 = intro_workload.query("Q1")
+        q2 = intro_workload.query("Q2")
+        assert engine.scan_query(q1).blocks_read == engine.scan_query(q2).blocks_read
+
+    def test_smaller_buffer_means_more_seeks(self, intro_workload):
+        layout = column_partitioning(intro_workload.schema)
+        small = StorageEngine(
+            layout, disk=SimulatedDisk(DiskCharacteristics(buffer_size=64 * KB))
+        )
+        large = StorageEngine(
+            layout, disk=SimulatedDisk(DiskCharacteristics(buffer_size=64 * MB))
+        )
+        q1 = intro_workload.query("Q1")
+        assert small.scan_query(q1).seeks > large.scan_query(q1).seeks
+
+    def test_workload_scan_accumulates(self, intro_workload):
+        engine = StorageEngine(column_partitioning(intro_workload.schema))
+        total = engine.scan_workload(intro_workload)
+        assert total.blocks_read > 0
+        assert total.elapsed_seconds > 0
+
+    def test_row_size_overrides_shrink_files(self, intro_workload):
+        layout = row_partitioning(intro_workload.schema)
+        plain = StorageEngine(layout)
+        compressed = StorageEngine(layout, row_size_overrides={0: 20})
+        assert compressed.total_size_in_bytes() < plain.total_size_in_bytes()
+
+    def test_reconstruction_penalty_increases_elapsed_time(self, intro_workload):
+        layout = column_partitioning(intro_workload.schema)
+        cheap = StorageEngine(layout, reconstruction_penalty=1.0)
+        expensive = StorageEngine(layout, reconstruction_penalty=10.0)
+        q1 = intro_workload.query("Q1")
+        assert expensive.scan_query(q1).elapsed_seconds > cheap.scan_query(q1).elapsed_seconds
+
+    def test_file_for_unknown_partition_raises(self, intro_workload):
+        from repro.core.partitioning import Partition
+
+        engine = StorageEngine(row_partitioning(intro_workload.schema))
+        with pytest.raises(KeyError):
+            engine.file_for(Partition([0]))

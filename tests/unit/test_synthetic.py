@@ -1,0 +1,111 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.workload import synthetic
+
+
+class TestSyntheticTable:
+    def test_basic_generation(self):
+        schema = synthetic.synthetic_table(6, row_count=1000, random_state=1)
+        assert schema.attribute_count == 6
+        assert schema.row_count == 1000
+        assert all(column.width >= 4 for column in schema.columns)
+
+    def test_deterministic_for_same_seed(self):
+        a = synthetic.synthetic_table(5, random_state=7)
+        b = synthetic.synthetic_table(5, random_state=7)
+        assert a.widths() == b.widths()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic.synthetic_table(0)
+        with pytest.raises(ValueError):
+            synthetic.synthetic_table(3, min_width=10, max_width=5)
+
+
+class TestRandomWorkload:
+    def test_query_count_and_footprint_bounds(self):
+        schema = synthetic.synthetic_table(8, random_state=0)
+        workload = synthetic.random_workload(
+            schema, 10, min_attributes=2, max_attributes=4, random_state=0
+        )
+        assert workload.query_count == 10
+        for query in workload:
+            assert 2 <= len(query) <= 4
+
+    def test_deterministic_for_same_seed(self):
+        schema = synthetic.synthetic_table(8, random_state=0)
+        w1 = synthetic.random_workload(schema, 5, random_state=3)
+        w2 = synthetic.random_workload(schema, 5, random_state=3)
+        assert w1.usage_matrix().tolist() == w2.usage_matrix().tolist()
+
+    def test_invalid_parameters_rejected(self):
+        schema = synthetic.synthetic_table(4, random_state=0)
+        with pytest.raises(ValueError):
+            synthetic.random_workload(schema, 0)
+        with pytest.raises(ValueError):
+            synthetic.random_workload(schema, 3, min_attributes=0)
+
+
+class TestRegularWorkload:
+    def test_all_queries_share_the_core(self):
+        schema = synthetic.synthetic_table(10, random_state=0)
+        workload = synthetic.regular_workload(
+            schema, 6, core_size=4, noise=0.0, random_state=0
+        )
+        footprints = [query.index_set for query in workload]
+        core = footprints[0]
+        assert len(core) == 4
+        assert all(fp == core for fp in footprints)
+
+    def test_noise_adds_extra_attributes(self):
+        schema = synthetic.synthetic_table(10, random_state=0)
+        workload = synthetic.regular_workload(
+            schema, 20, core_size=2, noise=1.0, random_state=0
+        )
+        assert all(len(query) == 10 for query in workload)
+
+    def test_invalid_core_size_rejected(self):
+        schema = synthetic.synthetic_table(4, random_state=0)
+        with pytest.raises(ValueError):
+            synthetic.regular_workload(schema, 3, core_size=9)
+
+
+class TestFragmentedWorkload:
+    def test_minimal_overlap(self):
+        schema = synthetic.synthetic_table(12, random_state=0)
+        workload = synthetic.fragmented_workload(
+            schema, 6, attributes_per_query=2, random_state=0
+        )
+        # 6 queries x 2 attributes fit in 12 attributes without reuse.
+        seen = set()
+        for query in workload:
+            assert not (seen & query.index_set)
+            seen |= query.index_set
+
+    def test_invalid_parameters_rejected(self):
+        schema = synthetic.synthetic_table(4, random_state=0)
+        with pytest.raises(ValueError):
+            synthetic.fragmented_workload(schema, 3, attributes_per_query=0)
+
+
+class TestClusteredWorkload:
+    def test_clusters_share_attribute_groups(self):
+        schema = synthetic.synthetic_table(9, random_state=0)
+        workload = synthetic.clustered_workload(
+            schema, num_clusters=3, queries_per_cluster=2, overlap=0.0, random_state=0
+        )
+        assert workload.query_count == 6
+        footprints = [query.index_set for query in workload]
+        # Queries within a cluster share footprints exactly when overlap is 0.
+        assert footprints[0] == footprints[1]
+        assert footprints[2] == footprints[3]
+        assert footprints[0] != footprints[2]
+
+    def test_invalid_parameters_rejected(self):
+        schema = synthetic.synthetic_table(4, random_state=0)
+        with pytest.raises(ValueError):
+            synthetic.clustered_workload(schema, 0, 1)
+        with pytest.raises(ValueError):
+            synthetic.clustered_workload(schema, 1, 1, overlap=2.0)

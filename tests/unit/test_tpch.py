@@ -1,0 +1,98 @@
+"""Unit tests for the TPC-H schema and workload definitions."""
+
+import pytest
+
+from repro.workload import tpch
+
+
+class TestTpchSchemas:
+    def test_all_eight_tables_present(self):
+        assert set(tpch.table_names()) == {
+            "lineitem", "orders", "customer", "part",
+            "partsupp", "supplier", "nation", "region",
+        }
+
+    def test_lineitem_has_sixteen_attributes(self):
+        schema = tpch.table_schema("lineitem")
+        assert schema.attribute_count == 16
+
+    def test_customer_has_eight_attributes(self):
+        # The paper quotes B_8 = 4140 possible partitionings for Customer.
+        assert tpch.table_schema("customer").attribute_count == 8
+
+    def test_row_counts_scale_with_scale_factor(self):
+        sf1 = tpch.table_schema("lineitem", scale_factor=1)
+        sf10 = tpch.table_schema("lineitem", scale_factor=10)
+        assert sf10.row_count == pytest.approx(10 * sf1.row_count, rel=0.01)
+
+    def test_nation_and_region_do_not_scale(self):
+        assert tpch.table_schema("nation", scale_factor=100).row_count == 25
+        assert tpch.table_schema("region", scale_factor=100).row_count == 5
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(KeyError):
+            tpch.table_schema("widgets")
+
+    def test_database_contains_all_tables(self):
+        database = tpch.tpch_database(scale_factor=1)
+        assert len(database) == 8
+
+
+class TestTpchWorkloads:
+    def test_all_22_queries_defined(self):
+        assert len(tpch.TPCH_QUERY_ORDER) == 22
+        assert set(tpch.TPCH_QUERY_FOOTPRINTS) == set(tpch.TPCH_QUERY_ORDER)
+
+    def test_footprints_reference_existing_attributes(self):
+        for query_name, footprint in tpch.TPCH_QUERY_FOOTPRINTS.items():
+            for table, attributes in footprint.items():
+                schema = tpch.table_schema(table)
+                for attribute in attributes:
+                    schema.index_of(attribute)  # raises if unknown
+
+    def test_lineitem_workload_has_seventeen_queries(self):
+        # 17 of the 22 TPC-H queries touch Lineitem.
+        workload = tpch.tpch_workload("lineitem", scale_factor=1)
+        assert workload.query_count == 17
+
+    def test_q1_footprint(self):
+        workload = tpch.tpch_workload("lineitem", scale_factor=1)
+        q1 = workload.query("Q1")
+        names = {workload.schema.attribute_names[i] for i in q1.attribute_indices}
+        assert names == {
+            "quantity", "extendedprice", "discount", "tax",
+            "returnflag", "linestatus", "shipdate",
+        }
+
+    def test_q6_footprint_is_four_attributes(self):
+        workload = tpch.tpch_workload("lineitem", scale_factor=1)
+        assert len(workload.query("Q6")) == 4
+
+    def test_first_k_queries_filter(self):
+        workload = tpch.tpch_workload("lineitem", scale_factor=1, num_queries=3)
+        assert {q.name for q in workload} == {"Q1", "Q3"}  # Q2 skips lineitem
+
+    def test_num_queries_bounds(self):
+        with pytest.raises(ValueError):
+            tpch.tpch_workload("lineitem", num_queries=0)
+        with pytest.raises(ValueError):
+            tpch.tpch_workload("lineitem", num_queries=23)
+
+    def test_workloads_dict_excludes_untouched_tables(self):
+        workloads = tpch.tpch_workloads(scale_factor=1, num_queries=1)
+        # Q1 only touches lineitem.
+        assert set(workloads) == {"lineitem"}
+
+    def test_workloads_dict_full_benchmark_covers_all_tables(self):
+        workloads = tpch.tpch_workloads(scale_factor=1)
+        assert set(workloads) == set(tpch.table_names())
+
+    def test_lineitem_shorthand(self):
+        assert tpch.lineitem_workload(scale_factor=1).schema.name == "lineitem"
+
+    def test_every_query_appears_in_at_least_one_table_workload(self):
+        workloads = tpch.tpch_workloads(scale_factor=1)
+        seen = set()
+        for workload in workloads.values():
+            seen.update(query.name for query in workload)
+        assert seen == set(tpch.TPCH_QUERY_ORDER)

@@ -1,0 +1,84 @@
+"""Unit tests for the Trojan layouts algorithm."""
+
+import pytest
+
+from repro.algorithms.hillclimb import HillClimbAlgorithm
+from repro.algorithms.trojan import TrojanAlgorithm
+from repro.core.partitioning import Partitioning
+
+
+class TestTrojanParameters:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            TrojanAlgorithm(interestingness_threshold=1.5)
+
+    def test_rejects_bad_group_size(self):
+        with pytest.raises(ValueError):
+            TrojanAlgorithm(max_group_size=0)
+
+    def test_rejects_bad_candidate_cap(self):
+        with pytest.raises(ValueError):
+            TrojanAlgorithm(max_candidates=0)
+
+    def test_rejects_bad_enumeration_limit(self):
+        with pytest.raises(ValueError):
+            TrojanAlgorithm(exhaustive_enumeration_limit=0)
+
+
+class TestTrojan:
+    def test_produces_valid_partitioning(self, lineitem_workload, hdd_model):
+        layout = TrojanAlgorithm().compute(lineitem_workload, hdd_model)
+        Partitioning(layout.schema, layout.partitions)
+
+    def test_groups_always_co_accessed_attributes(self, intro_workload, hdd_model):
+        layout = TrojanAlgorithm().compute(intro_workload, hdd_model)
+        names = set(layout.as_names())
+        assert ("partkey", "suppkey") in names
+        assert ("availqty", "supplycost") in names
+
+    def test_threshold_one_keeps_only_identical_access_groups(
+        self, partsupp_workload, hdd_model
+    ):
+        """With the threshold at 1.0 only perfectly co-accessed groups survive,
+        so the layout equals the primary partitions."""
+        layout = TrojanAlgorithm(interestingness_threshold=1.0).compute(
+            partsupp_workload, hdd_model
+        )
+        expected = {frozenset(f) for f in partsupp_workload.primary_partitions()}
+        assert set(layout.as_sets()) == expected
+
+    def test_lower_threshold_allows_more_grouping(self, lineitem_workload, hdd_model):
+        strict = TrojanAlgorithm(interestingness_threshold=0.95).compute(
+            lineitem_workload, hdd_model
+        )
+        loose = TrojanAlgorithm(interestingness_threshold=0.1).compute(
+            lineitem_workload, hdd_model
+        )
+        assert loose.partition_count <= strict.partition_count
+
+    def test_close_to_hillclimb_class_on_lineitem(self, lineitem_workload, hdd_model):
+        """The paper reports Trojan within a fraction of a percent of optimal."""
+        trojan = TrojanAlgorithm().run(lineitem_workload, hdd_model)
+        hillclimb = HillClimbAlgorithm().run(lineitem_workload, hdd_model)
+        assert trojan.estimated_cost <= hillclimb.estimated_cost * 1.10
+
+    def test_metadata_reports_pruning(self, lineitem_workload, hdd_model):
+        algorithm = TrojanAlgorithm()
+        algorithm.run(lineitem_workload, hdd_model)
+        metadata = algorithm.last_run_metadata()
+        assert metadata["candidates_enumerated"] > 0
+        assert metadata["candidates_after_pruning"] <= metadata["candidates_enumerated"]
+
+    def test_seeded_enumeration_for_very_wide_tables(self, hdd_model):
+        """Beyond the exhaustive limit the candidate set is query-seeded but the
+        algorithm still returns a valid layout."""
+        from repro.workload import synthetic
+
+        schema = synthetic.synthetic_table(24, row_count=10_000, random_state=3)
+        workload = synthetic.clustered_workload(
+            schema, num_clusters=4, queries_per_cluster=3, random_state=3
+        )
+        layout = TrojanAlgorithm(exhaustive_enumeration_limit=16).compute(
+            workload, hdd_model
+        )
+        Partitioning(layout.schema, layout.partitions)

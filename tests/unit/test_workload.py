@@ -1,0 +1,139 @@
+"""Unit tests for the workload container and its derived structures."""
+
+import numpy as np
+import pytest
+
+from repro.workload.query import Query
+from repro.workload.schema import Column, TableSchema
+from repro.workload.workload import Workload, WorkloadError
+
+
+@pytest.fixture
+def schema():
+    return TableSchema(
+        "t",
+        [Column("a", 4), Column("b", 8), Column("c", 16), Column("d", 32)],
+        row_count=1000,
+    )
+
+
+@pytest.fixture
+def workload(schema):
+    return Workload(
+        schema,
+        [
+            Query("Q1", ["a", "b"], weight=2.0),
+            Query("Q2", ["b", "c"]),
+            Query("Q3", ["a", "b"]),
+        ],
+    )
+
+
+class TestWorkloadConstruction:
+    def test_basic_properties(self, workload):
+        assert workload.query_count == 3
+        assert workload.attribute_count == 4
+        assert workload.total_weight == 4.0
+        assert len(list(workload)) == 3
+
+    def test_rejects_duplicate_query_names(self, schema):
+        with pytest.raises(WorkloadError, match="duplicate"):
+            Workload(schema, [Query("Q1", ["a"]), Query("Q1", ["b"])])
+
+    def test_rejects_unknown_attributes(self, schema):
+        with pytest.raises(Exception):
+            Workload(schema, [Query("Q1", ["nope"])])
+
+    def test_query_lookup(self, workload):
+        assert workload.query("Q2").name == "Q2"
+        with pytest.raises(WorkloadError):
+            workload.query("Q99")
+
+    def test_default_name_derived_from_schema(self, schema):
+        assert "t" in Workload(schema, [Query("Q1", ["a"])]).name
+
+
+class TestDerivedStructures:
+    def test_usage_matrix_shape_and_values(self, workload):
+        usage = workload.usage_matrix()
+        assert usage.shape == (3, 4)
+        assert usage[0].tolist() == [1, 1, 0, 0]
+        assert usage[1].tolist() == [0, 1, 1, 0]
+
+    def test_weights_vector(self, workload):
+        assert workload.weights().tolist() == [2.0, 1.0, 1.0]
+
+    def test_affinity_matrix_symmetry_and_diagonal(self, workload):
+        affinity = workload.affinity_matrix()
+        assert affinity.shape == (4, 4)
+        assert np.allclose(affinity, affinity.T)
+        # Attribute b is accessed by all three queries: total weight 4.
+        assert affinity[1, 1] == pytest.approx(4.0)
+        # a and b co-occur in Q1 (weight 2) and Q3 (weight 1).
+        assert affinity[0, 1] == pytest.approx(3.0)
+        # a and c never co-occur.
+        assert affinity[0, 2] == pytest.approx(0.0)
+
+    def test_attribute_access_weights_match_affinity_diagonal(self, workload):
+        affinity = workload.affinity_matrix()
+        access = workload.attribute_access_weights()
+        assert np.allclose(access, np.diag(affinity))
+
+    def test_referenced_and_unreferenced_attributes(self, workload):
+        assert workload.referenced_attributes() == frozenset({0, 1, 2})
+        assert workload.unreferenced_attributes() == frozenset({3})
+
+    def test_primary_partitions_group_identical_signatures(self, schema):
+        workload = Workload(
+            schema,
+            [Query("Q1", ["a", "b"]), Query("Q2", ["c"])],
+        )
+        fragments = workload.primary_partitions()
+        assert frozenset({0, 1}) in fragments  # a, b always together
+        assert frozenset({2}) in fragments
+        assert frozenset({3}) in fragments  # unreferenced attribute
+        assert sum(len(f) for f in fragments) == 4
+
+    def test_primary_partitions_cover_all_attributes(self, workload):
+        fragments = workload.primary_partitions()
+        covered = set()
+        for fragment in fragments:
+            assert not covered & fragment
+            covered |= fragment
+        assert covered == set(range(4))
+
+    def test_queries_referencing(self, workload):
+        names = [q.name for q in workload.queries_referencing([2])]
+        assert names == ["Q2"]
+
+
+class TestWorkloadSlicing:
+    def test_first_k(self, workload):
+        first_two = workload.first(2)
+        assert [q.name for q in first_two] == ["Q1", "Q2"]
+
+    def test_first_rejects_non_positive(self, workload):
+        with pytest.raises(WorkloadError):
+            workload.first(0)
+
+    def test_subset_by_name(self, workload):
+        subset = workload.subset(["Q3", "Q1"])
+        assert [q.name for q in subset] == ["Q1", "Q3"]
+
+    def test_subset_unknown_name_raises(self, workload):
+        with pytest.raises(WorkloadError):
+            workload.subset(["Q42"])
+
+    def test_scaled_rebinds_schema(self, workload):
+        scaled = workload.scaled(2.0)
+        assert scaled.schema.row_count == 2000
+        assert scaled.query_count == workload.query_count
+
+    def test_with_schema_rejects_different_attributes(self, workload):
+        other = TableSchema("other", [Column("x", 4)], 10)
+        with pytest.raises(WorkloadError):
+            workload.with_schema(other)
+
+    def test_describe_lists_queries(self, workload):
+        text = workload.describe()
+        assert "Q1" in text and "Q3" in text
