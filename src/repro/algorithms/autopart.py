@@ -19,11 +19,12 @@ columns.  On TPC-H both find the brute-force-optimal layouts.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.algorithm import PartitioningAlgorithm, register_algorithm
-from repro.core.partitioning import Partition, Partitioning
+from repro.core.partitioning import Partition, Partitioning, merge_group_pair
 from repro.cost.base import CostModel
+from repro.cost.evaluator import CostEvaluator
 from repro.workload.workload import Workload
 
 
@@ -36,7 +37,8 @@ class AutoPartAlgorithm(PartitioningAlgorithm):
     starting_point = "whole-workload"
     candidate_pruning = "none"
 
-    def __init__(self) -> None:
+    def __init__(self, naive_costing: bool = False) -> None:
+        self.naive_costing = naive_costing
         self._metadata: Dict[str, object] = {}
 
     def compute(self, workload: Workload, cost_model: CostModel) -> Partitioning:
@@ -44,24 +46,24 @@ class AutoPartAlgorithm(PartitioningAlgorithm):
         schema = workload.schema
         atomic_fragments = workload.primary_partitions()
         fragments: List[FrozenSet[int]] = list(atomic_fragments)
-        current_cost = self._cost_of(fragments, workload, cost_model)
+        evaluator = CostEvaluator(workload, cost_model, naive=self.naive_costing)
+        current_cost = evaluator.evaluate(fragments)
         iterations = 0
         merges = 0
 
         while len(fragments) > 1:
             iterations += 1
-            best_pair: Tuple[FrozenSet[int], FrozenSet[int]] = None  # type: ignore[assignment]
+            best_pair: Optional[Tuple[int, int]] = None
             best_cost = current_cost
             # Candidate extensions: any current fragment combined with an atomic
             # fragment or with another current fragment.  Without replication
             # both cases reduce to merging two of the current disjoint
             # fragments, so the pairwise scan below covers the candidate set.
-            for fragment_a, fragment_b in combinations(fragments, 2):
-                candidate = self._merge(fragments, fragment_a, fragment_b)
-                candidate_cost = self._cost_of(candidate, workload, cost_model)
+            for a, b in combinations(range(len(fragments)), 2):
+                candidate_cost = evaluator.evaluate_merge(fragments, a, b)
                 if candidate_cost < best_cost:
                     best_cost = candidate_cost
-                    best_pair = (fragment_a, fragment_b)
+                    best_pair = (a, b)
             if best_pair is None:
                 break
             fragments = self._merge(fragments, best_pair[0], best_pair[1])
@@ -73,27 +75,16 @@ class AutoPartAlgorithm(PartitioningAlgorithm):
             "iterations": iterations,
             "merges": merges,
             "final_cost": current_cost,
+            "candidate_evaluations": evaluator.evaluations,
         }
         return Partitioning(schema, [Partition(fragment) for fragment in fragments])
 
     @staticmethod
     def _merge(
-        fragments: List[FrozenSet[int]], a: FrozenSet[int], b: FrozenSet[int]
+        fragments: Sequence[FrozenSet[int]], a: int, b: int
     ) -> List[FrozenSet[int]]:
-        merged = [fragment for fragment in fragments if fragment is not a and fragment is not b]
-        merged.append(a | b)
-        return merged
-
-    @staticmethod
-    def _cost_of(
-        fragments: List[FrozenSet[int]], workload: Workload, cost_model: CostModel
-    ) -> float:
-        partitioning = Partitioning(
-            workload.schema,
-            [Partition(fragment) for fragment in fragments],
-            validate=False,
-        )
-        return cost_model.workload_cost(workload, partitioning)
+        """A new fragment list with positions ``a``/``b`` replaced by their union."""
+        return merge_group_pair(fragments, a, b)
 
     def last_run_metadata(self) -> Dict[str, object]:
         return dict(self._metadata)

@@ -34,8 +34,9 @@ from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from repro.algorithms.support.enumeration import bell_number, set_partitions
 from repro.core.algorithm import PartitioningAlgorithm, register_algorithm
-from repro.core.partitioning import Partition, Partitioning
+from repro.core.partitioning import Partitioning, mask_of
 from repro.cost.base import CostModel
+from repro.cost.evaluator import CostEvaluator
 from repro.workload.workload import Workload
 
 
@@ -79,21 +80,26 @@ class BruteForceAlgorithm(PartitioningAlgorithm):
                 f"to override."
             )
 
-        best_partitioning: Optional[Partitioning] = None
+        # Candidates are costed as bitmask layouts through the memoized
+        # CostEvaluator; a real Partitioning is built only for the winner.
+        evaluator = CostEvaluator(workload, cost_model)
+        unit_masks = [mask_of(unit) for unit in units]
+        best_masks: Optional[List[int]] = None
         best_cost = float("inf")
         evaluated = 0
         for blocks in set_partitions(range(len(units))):
-            partitions = [
-                Partition(frozenset().union(*(units[index] for index in block)))
-                for block in blocks
-            ]
-            candidate = Partitioning(schema, partitions, validate=False)
-            cost = cost_model.workload_cost(workload, candidate)
+            candidate_masks = []
+            for block in blocks:
+                mask = 0
+                for index in block:
+                    mask |= unit_masks[index]
+                candidate_masks.append(mask)
+            cost = evaluator.evaluate(candidate_masks)
             evaluated += 1
             if cost < best_cost:
                 best_cost = cost
-                best_partitioning = candidate
-        assert best_partitioning is not None  # at least one unit guarantees a candidate
+                best_masks = candidate_masks
+        assert best_masks is not None  # at least one unit guarantees a candidate
         self._metadata = {
             "candidates_evaluated": evaluated,
             "enumeration_units": len(units),
@@ -101,8 +107,9 @@ class BruteForceAlgorithm(PartitioningAlgorithm):
             "bell_number_units": bell_number(len(units)),
             "collapsed_primary_partitions": self.collapse_primary_partitions,
             "best_cost": best_cost,
+            "candidate_evaluations": evaluator.evaluations,
         }
-        return best_partitioning
+        return Partitioning.from_masks(schema, best_masks, validate=False)
 
     def last_run_metadata(self) -> Dict[str, object]:
         return dict(self._metadata)

@@ -13,6 +13,12 @@ so — like the paper — the *improved*, dictionary-free variant is the default
 The original dictionary-backed behaviour can be enabled with
 ``use_cost_dictionary=True``; the ablation benchmark compares the two.
 
+Candidate layouts are costed through the memoized
+:class:`~repro.cost.evaluator.CostEvaluator` kernel, whose delta path
+re-costs only the queries affected by each candidate merge; pass
+``naive_costing=True`` to recompute every candidate from scratch (the
+cost-kernel microbenchmark uses this as the before/after comparison).
+
 The paper's headline finding (Lesson 3) is that HillClimb finds the same
 layouts as brute force on TPC-H while spending four orders of magnitude less
 optimisation time.
@@ -21,11 +27,12 @@ optimisation time.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.algorithm import PartitioningAlgorithm, register_algorithm
-from repro.core.partitioning import Partition, Partitioning
+from repro.core.partitioning import Partition, Partitioning, merge_group_pair
 from repro.cost.base import CostModel
+from repro.cost.evaluator import CostEvaluator
 from repro.workload.workload import Workload
 
 
@@ -38,8 +45,11 @@ class HillClimbAlgorithm(PartitioningAlgorithm):
     starting_point = "whole-workload"
     candidate_pruning = "none"
 
-    def __init__(self, use_cost_dictionary: bool = False) -> None:
+    def __init__(
+        self, use_cost_dictionary: bool = False, naive_costing: bool = False
+    ) -> None:
         self.use_cost_dictionary = use_cost_dictionary
+        self.naive_costing = naive_costing
         self._metadata: Dict[str, object] = {}
 
     def compute(self, workload: Workload, cost_model: CostModel) -> Partitioning:
@@ -48,7 +58,8 @@ class HillClimbAlgorithm(PartitioningAlgorithm):
         groups: List[FrozenSet[int]] = [
             frozenset([index]) for index in range(schema.attribute_count)
         ]
-        current_cost = self._cost_of(groups, workload, cost_model)
+        evaluator = CostEvaluator(workload, cost_model, naive=self.naive_costing)
+        current_cost = evaluator.evaluate(groups)
         iterations = 0
         merges = 0
         # Original variant: remember the workload cost of every candidate group
@@ -59,19 +70,16 @@ class HillClimbAlgorithm(PartitioningAlgorithm):
 
         while len(groups) > 1:
             iterations += 1
-            best_pair: Tuple[FrozenSet[int], FrozenSet[int]] = None  # type: ignore[assignment]
+            best_pair: Optional[Tuple[int, int]] = None
             best_cost = current_cost
-            for a, b in combinations(groups, 2):
-                merged_groups = self._merge(groups, a, b)
+            for a, b in combinations(range(len(groups)), 2):
                 if self.use_cost_dictionary:
-                    key = frozenset(merged_groups)
+                    key = frozenset(self._merge(groups, a, b))
                     if key not in dictionary:
-                        dictionary[key] = self._cost_of(
-                            merged_groups, workload, cost_model
-                        )
+                        dictionary[key] = evaluator.evaluate_merge(groups, a, b)
                     candidate_cost = dictionary[key]
                 else:
-                    candidate_cost = self._cost_of(merged_groups, workload, cost_model)
+                    candidate_cost = evaluator.evaluate_merge(groups, a, b)
                 if candidate_cost < best_cost:
                     best_cost = candidate_cost
                     best_pair = (a, b)
@@ -87,26 +95,22 @@ class HillClimbAlgorithm(PartitioningAlgorithm):
             "final_cost": current_cost,
             "used_cost_dictionary": self.use_cost_dictionary,
             "dictionary_entries": len(dictionary),
+            "candidate_evaluations": evaluator.evaluations,
         }
         return Partitioning(schema, [Partition(group) for group in groups])
 
     @staticmethod
     def _merge(
-        groups: List[FrozenSet[int]], a: FrozenSet[int], b: FrozenSet[int]
+        groups: Sequence[FrozenSet[int]], a: int, b: int
     ) -> List[FrozenSet[int]]:
-        """A new group list with ``a`` and ``b`` replaced by their union."""
-        merged = [group for group in groups if group is not a and group is not b]
-        merged.append(a | b)
-        return merged
+        """A new group list with positions ``a`` and ``b`` replaced by their union.
 
-    @staticmethod
-    def _cost_of(
-        groups: List[FrozenSet[int]], workload: Workload, cost_model: CostModel
-    ) -> float:
-        partitioning = Partitioning(
-            workload.schema, [Partition(group) for group in groups], validate=False
-        )
-        return cost_model.workload_cost(workload, partitioning)
+        Delegates to :func:`~repro.core.partitioning.merge_group_pair`, which
+        filters by index — the previous identity-based filtering silently kept
+        both copies if equal-but-distinct frozensets were ever passed, yielding
+        an overlapping layout.
+        """
+        return merge_group_pair(groups, a, b)
 
     def last_run_metadata(self) -> Dict[str, object]:
         return dict(self._metadata)

@@ -29,8 +29,9 @@ from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.algorithms.support.graph_partition import kway_partition
 from repro.core.algorithm import PartitioningAlgorithm, register_algorithm
-from repro.core.partitioning import Partition, Partitioning
+from repro.core.partitioning import Partition, Partitioning, merge_group_pair
 from repro.cost.base import CostModel
+from repro.cost.evaluator import CostEvaluator
 from repro.workload.workload import Workload
 
 
@@ -53,6 +54,7 @@ class HyriseAlgorithm(PartitioningAlgorithm):
         """Run the four HYRISE phases and return the combined layout."""
         schema = workload.schema
         primary = workload.primary_partitions()
+        evaluator = CostEvaluator(workload, cost_model)
 
         # Phase 2: affinity graph over primary partitions, split into subgraphs.
         edge_weights = self._affinity_edges(workload, primary)
@@ -66,25 +68,19 @@ class HyriseAlgorithm(PartitioningAlgorithm):
         groups: List[FrozenSet[int]] = []
         for subgraph in subgraphs:
             subgraph_groups = [primary[node] for node in sorted(subgraph)]
-            groups.extend(
-                self._greedy_merge(subgraph_groups, groups_outside=None,
-                                   workload=workload, cost_model=cost_model,
-                                   all_groups=None)
-            )
+            groups.extend(self._greedy_merge(subgraph_groups, workload, evaluator))
 
         # Re-run the merge restricted to each subgraph but costed against the
         # full layout: collect all groups first, then phase 4 merges across
         # subgraphs.
-        merged_across = self._greedy_merge(
-            groups, groups_outside=None, workload=workload, cost_model=cost_model,
-            all_groups=None,
-        )
+        merged_across = self._greedy_merge(groups, workload, evaluator)
 
         self._metadata = {
             "primary_partitions": [sorted(p) for p in primary],
             "subgraphs": [sorted(s) for s in subgraphs],
             "groups_after_subgraph_merge": [sorted(g) for g in groups],
             "final_groups": [sorted(g) for g in merged_across],
+            "candidate_evaluations": evaluator.evaluations,
         }
         return Partitioning(schema, [Partition(group) for group in merged_across])
 
@@ -108,57 +104,44 @@ class HyriseAlgorithm(PartitioningAlgorithm):
     def _greedy_merge(
         self,
         groups: List[FrozenSet[int]],
-        groups_outside,
         workload: Workload,
-        cost_model: CostModel,
-        all_groups,
+        evaluator: CostEvaluator,
     ) -> List[FrozenSet[int]]:
         """HillClimb-style pairwise merging of ``groups``.
 
         The candidate layouts are always *complete*: attributes outside the
-        groups being merged are padded into a rest partition for costing, so
-        cost comparisons are consistent even when merging inside a subgraph.
+        groups being merged (those belonging to other subgraphs during phase
+        3) are padded in as singleton partitions for costing, so cost
+        comparisons are consistent even when merging inside a subgraph.  Only
+        the first ``len(current)`` positions of the padded layout are merge
+        candidates; the padding never changes within one call because merging
+        does not alter coverage.
         """
         schema = workload.schema
         current = list(groups)
-        current_cost = self._cost_of(current, workload, cost_model)
+        covered: Set[int] = set()
+        for group in current:
+            covered.update(group)
+        padding = [
+            frozenset([index])
+            for index in range(schema.attribute_count)
+            if index not in covered
+        ]
+        current_cost = evaluator.evaluate(current + padding)
         while len(current) > 1:
             best_pair = None
             best_cost = current_cost
-            for a, b in combinations(current, 2):
-                candidate = [g for g in current if g is not a and g is not b]
-                candidate.append(a | b)
-                candidate_cost = self._cost_of(candidate, workload, cost_model)
+            padded = current + padding
+            for a, b in combinations(range(len(current)), 2):
+                candidate_cost = evaluator.evaluate_merge(padded, a, b)
                 if candidate_cost < best_cost:
                     best_cost = candidate_cost
                     best_pair = (a, b)
             if best_pair is None:
                 break
-            current = [g for g in current if g is not best_pair[0] and g is not best_pair[1]]
-            current.append(best_pair[0] | best_pair[1])
+            current = merge_group_pair(current, best_pair[0], best_pair[1])
             current_cost = best_cost
         return current
-
-    @staticmethod
-    def _cost_of(
-        groups: List[FrozenSet[int]], workload: Workload, cost_model: CostModel
-    ) -> float:
-        """Workload cost of ``groups`` padded to a complete partitioning."""
-        schema = workload.schema
-        covered: Set[int] = set()
-        for group in groups:
-            covered.update(group)
-        rest = [
-            index for index in range(schema.attribute_count) if index not in covered
-        ]
-        partitions = [Partition(group) for group in groups]
-        if rest:
-            # Uncovered attributes (those belonging to other subgraphs during
-            # phase 3) are priced as singletons so they do not distort the
-            # comparison between candidate merges inside this subgraph.
-            partitions.extend(Partition([index]) for index in rest)
-        partitioning = Partitioning(schema, partitions, validate=False)
-        return cost_model.workload_cost(workload, partitioning)
 
     def last_run_metadata(self) -> Dict[str, object]:
         return dict(self._metadata)

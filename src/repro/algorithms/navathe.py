@@ -42,6 +42,7 @@ from repro.algorithms.support.bond_energy import bond_energy_order
 from repro.core.algorithm import PartitioningAlgorithm, register_algorithm
 from repro.core.partitioning import Partition, Partitioning
 from repro.cost.base import CostModel
+from repro.cost.evaluator import CostEvaluator
 from repro.workload.query import ResolvedQuery
 from repro.workload.workload import Workload
 
@@ -122,16 +123,18 @@ class NavatheAlgorithm(PartitioningAlgorithm):
         if self.split_objective == "affinity":
             segments = self._recursive_affinity_split(tuple(order), affinity)
             splits = len(segments) - 1
+            candidate_evaluations = 0
         else:
-            segments, splits = self._greedy_cost_split(
-                tuple(order), workload, cost_model
-            )
+            evaluator = CostEvaluator(workload, cost_model)
+            segments, splits = self._greedy_cost_split(tuple(order), evaluator)
+            candidate_evaluations = evaluator.evaluations
 
         self._metadata = {
             "bea_order": list(order),
             "splits": splits,
             "split_objective": self.split_objective,
             "segments": [list(segment) for segment in segments],
+            "candidate_evaluations": candidate_evaluations,
         }
         return Partitioning(schema, [Partition(segment) for segment in segments])
 
@@ -165,12 +168,17 @@ class NavatheAlgorithm(PartitioningAlgorithm):
     def _greedy_cost_split(
         self,
         order: Tuple[int, ...],
-        workload: Workload,
-        cost_model: CostModel,
+        evaluator: CostEvaluator,
     ) -> Tuple[List[Tuple[int, ...]], int]:
-        """Greedy order-preserving splits driven by the workload cost model."""
+        """Greedy order-preserving splits driven by the workload cost model.
+
+        Candidate layouts are costed through the memoized
+        :class:`~repro.cost.evaluator.CostEvaluator`; splitting one segment
+        leaves every other segment's co-read contribution cached, so only the
+        queries touching the split segment cost anything to re-derive.
+        """
         segments: List[Tuple[int, ...]] = [order]
-        current_cost = self._cost_of(segments, workload, cost_model)
+        current_cost = evaluator.evaluate(segments)
         splits = 0
         while True:
             best_segments: Optional[List[Tuple[int, ...]]] = None
@@ -184,7 +192,7 @@ class NavatheAlgorithm(PartitioningAlgorithm):
                         + [segment[:split_point], segment[split_point:]]
                         + segments[segment_index + 1:]
                     )
-                    candidate_cost = self._cost_of(candidate, workload, cost_model)
+                    candidate_cost = evaluator.evaluate(candidate)
                     if candidate_cost < best_cost:
                         best_cost = candidate_cost
                         best_segments = candidate
@@ -193,17 +201,6 @@ class NavatheAlgorithm(PartitioningAlgorithm):
             segments = best_segments
             current_cost = best_cost
             splits += 1
-
-    @staticmethod
-    def _cost_of(
-        segments: Sequence[Sequence[int]], workload: Workload, cost_model: CostModel
-    ) -> float:
-        partitioning = Partitioning(
-            workload.schema,
-            [Partition(segment) for segment in segments],
-            validate=False,
-        )
-        return cost_model.workload_cost(workload, partitioning)
 
     def last_run_metadata(self) -> Dict[str, object]:
         return dict(self._metadata)

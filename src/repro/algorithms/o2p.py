@@ -28,7 +28,7 @@ import numpy as np
 from repro.algorithms.navathe import affinity_split_gain
 from repro.algorithms.support.bond_energy import bond_energy_order
 from repro.core.algorithm import PartitioningAlgorithm, register_algorithm
-from repro.core.partitioning import Partition, Partitioning
+from repro.core.partitioning import Partition, Partitioning, mask_of
 from repro.cost.base import CostModel
 from repro.workload.query import ResolvedQuery
 from repro.workload.workload import Workload
@@ -83,7 +83,7 @@ class O2PAlgorithm(PartitioningAlgorithm):
                     gain_memo.clear()
 
             gain_memo = self._refresh_gains(
-                order, split_points, affinity, gain_memo, touched=query.index_set
+                order, split_points, affinity, gain_memo, touched=query.index_mask
             )
 
             for _ in range(self.max_splits_per_step):
@@ -127,21 +127,21 @@ class O2PAlgorithm(PartitioningAlgorithm):
         split_points: Set[int],
         affinity: np.ndarray,
         memo: Dict[int, float],
-        touched: frozenset,
+        touched: int,
     ) -> Dict[int, float]:
         """Recompute z-gains for candidate positions affected by the new query.
 
-        Positions whose surrounding segment contains none of the attributes the
-        new query touches keep their memoised gain (the new query cannot change
-        the affinity block sums of that segment).
+        ``touched`` is the new query's attribute bitmask.  Positions whose
+        surrounding segment contains none of the attributes the new query
+        touches keep their memoised gain (the new query cannot change the
+        affinity block sums of that segment).
         """
         refreshed: Dict[int, float] = {}
         for position in range(1, len(order)):
             if position in split_points:
                 continue
             segment, start = self._segment_of(position, split_points, order)
-            segment_attrs = frozenset(segment)
-            if position in memo and segment_attrs.isdisjoint(touched):
+            if position in memo and not mask_of(segment) & touched:
                 refreshed[position] = memo[position]
                 continue
             local_split = position - start

@@ -82,6 +82,9 @@ class _CountingCostModel(CostModel):
     def __init__(self, inner: CostModel) -> None:
         self.inner = inner
         self.name = inner.name
+        # The CostEvaluator kernel probes this flag and calls the fast hooks
+        # directly, so the wrapper must advertise and forward them.
+        self.supports_fast_costing = getattr(inner, "supports_fast_costing", False)
         self.query_evaluations = 0
         self.workload_evaluations = 0
 
@@ -95,6 +98,12 @@ class _CountingCostModel(CostModel):
 
     def partition_read_cost(self, partition, co_read, partitioning):  # noqa: D102
         return self.inner.partition_read_cost(partition, co_read, partitioning)
+
+    def group_read_profile(self, schema, row_size):  # noqa: D102 - delegation
+        return self.inner.group_read_profile(schema, row_size)
+
+    def co_read_set_cost(self, schema, profiles):  # noqa: D102 - delegation
+        return self.inner.co_read_set_cost(schema, profiles)
 
     def describe(self) -> str:  # noqa: D102 - delegation
         return self.inner.describe()
@@ -129,6 +138,12 @@ class PartitioningAlgorithm(abc.ABC):
         partitioning = self.compute(workload, counting)
         elapsed = time.perf_counter() - start
         estimated_cost = cost_model.workload_cost(workload, partitioning)
+        metadata = dict(self.last_run_metadata())
+        # Algorithms that cost candidates through the CostEvaluator kernel no
+        # longer call workload_cost per candidate; they report the kernel's
+        # candidate count in their metadata instead, keeping the effort proxy
+        # comparable across the naive and kernel paths.
+        candidate_evaluations = int(metadata.get("candidate_evaluations", 0))
         return PartitioningResult(
             algorithm=self.name,
             workload_name=workload.name,
@@ -136,8 +151,10 @@ class PartitioningAlgorithm(abc.ABC):
             optimization_time=elapsed,
             estimated_cost=estimated_cost,
             cost_model=cost_model.describe(),
-            cost_evaluations=counting.workload_evaluations + counting.query_evaluations,
-            metadata=dict(self.last_run_metadata()),
+            cost_evaluations=counting.workload_evaluations
+            + counting.query_evaluations
+            + candidate_evaluations,
+            metadata=metadata,
         )
 
     def last_run_metadata(self) -> Dict[str, object]:

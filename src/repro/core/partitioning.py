@@ -10,11 +10,14 @@ layout) is allowed to overlap.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.workload.query import ResolvedQuery
-from repro.workload.schema import TableSchema
+
+# Re-exported here because partitions are the primary bitmask consumers; the
+# definitions live in the dependency-free schema module.
+from repro.workload.schema import TableSchema, indices_of_mask, mask_of
 
 
 class PartitioningError(ValueError):
@@ -26,6 +29,9 @@ class Partition:
     """One column group: an immutable, non-empty set of attribute indices."""
 
     attributes: FrozenSet[int]
+    #: Bitmask form of ``attributes`` (bit ``i`` set iff attribute ``i`` is in
+    #: the group); derived, so excluded from equality and hashing.
+    mask: int = field(default=0, compare=False, repr=False)
 
     def __init__(self, attributes: Iterable[int]) -> None:
         attribute_set = frozenset(int(index) for index in attributes)
@@ -34,6 +40,14 @@ class Partition:
         if any(index < 0 for index in attribute_set):
             raise PartitioningError("attribute indices must be non-negative")
         object.__setattr__(self, "attributes", attribute_set)
+        object.__setattr__(self, "mask", mask_of(attribute_set))
+
+    @classmethod
+    def from_mask(cls, mask: int) -> "Partition":
+        """Build a partition from a bitmask of attribute indices."""
+        if mask < 0:
+            raise PartitioningError("a partition mask must be non-negative")
+        return cls(indices_of_mask(mask))
 
     def row_size(self, schema: TableSchema) -> int:
         """Width in bytes of one row of this column group."""
@@ -45,7 +59,7 @@ class Partition:
 
     def is_referenced_by(self, query: ResolvedQuery) -> bool:
         """True if ``query`` references any attribute of this partition."""
-        return not self.attributes.isdisjoint(query.index_set)
+        return bool(self.mask & query.index_mask)
 
     def merged_with(self, other: "Partition") -> "Partition":
         """A new partition containing both groups' attributes."""
@@ -97,6 +111,16 @@ class Partitioning:
         if validate:
             self._validate()
 
+    @classmethod
+    def from_masks(
+        cls,
+        schema: TableSchema,
+        masks: Iterable[int],
+        validate: bool = True,
+    ) -> "Partitioning":
+        """Build a partitioning from integer bitmasks of attribute indices."""
+        return cls(schema, [Partition.from_mask(mask) for mask in masks], validate=validate)
+
     def _validate(self) -> None:
         seen: Set[int] = set()
         for partition in self.partitions:
@@ -134,13 +158,26 @@ class Partitioning:
         return iter(self.partitions)
 
     def partition_of(self, attribute_index: int) -> Partition:
-        """The partition containing ``attribute_index``."""
-        for partition in self.partitions:
-            if attribute_index in partition:
-                return partition
-        raise PartitioningError(
-            f"attribute index {attribute_index} not covered by this partitioning"
-        )
+        """The partition containing ``attribute_index`` (O(1) after first call).
+
+        The attribute→partition index is built lazily on the first lookup and
+        cached on the (frozen) instance, so construction stays cheap for the
+        throwaway candidate layouts the algorithms enumerate.
+        """
+        index = self.__dict__.get("_attribute_index")
+        if index is None:
+            index = {
+                attribute: partition
+                for partition in self.partitions
+                for attribute in partition.attributes
+            }
+            object.__setattr__(self, "_attribute_index", index)
+        try:
+            return index[attribute_index]
+        except KeyError:
+            raise PartitioningError(
+                f"attribute index {attribute_index} not covered by this partitioning"
+            ) from None
 
     def referenced_partitions(self, query: ResolvedQuery) -> List[Partition]:
         """Partitions a query must read (those containing any referenced attribute)."""
@@ -157,6 +194,10 @@ class Partitioning:
     def as_sets(self) -> List[FrozenSet[int]]:
         """The partitions as plain frozensets (canonical order)."""
         return [partition.attributes for partition in self.partitions]
+
+    def as_masks(self) -> List[int]:
+        """The partitions as integer bitmasks (canonical order)."""
+        return [partition.mask for partition in self.partitions]
 
     def as_names(self) -> List[Tuple[str, ...]]:
         """The partitions as tuples of attribute names (canonical order)."""
@@ -182,6 +223,20 @@ class Partitioning:
             width = partition.row_size(self.schema)
             lines.append(f"  P{index + 1} ({width:>4d} B/row): {names}")
         return "\n".join(lines)
+
+
+def merge_group_pair(groups: Sequence, a: int, b: int) -> List:
+    """A new group list with positions ``a`` and ``b`` replaced by their union.
+
+    Works on any group representation supporting ``|`` (frozensets, bitmasks).
+    Filtering is by index, never by identity or equality: identity-based
+    filtering silently keeps both copies when equal-but-distinct groups are
+    passed, and equality-based filtering drops too many when duplicates are
+    present.
+    """
+    merged = [group for index, group in enumerate(groups) if index != a and index != b]
+    merged.append(groups[a] | groups[b])
+    return merged
 
 
 def row_partitioning(schema: TableSchema) -> Partitioning:

@@ -13,6 +13,8 @@ reconstruction joins polluting the measurement.
   cache-miss model used for Table 6.
 * :mod:`repro.cost.creation` — layout transformation (creation) time model
   used by the pay-off metric.
+* :mod:`repro.cost.evaluator` — :class:`CostEvaluator`, the memoized bitmask
+  costing kernel the partitioning algorithms evaluate candidate layouts with.
 """
 
 from repro.cost.base import CostModel
@@ -24,9 +26,12 @@ from repro.cost.disk import (
 from repro.cost.hdd import HDDCostModel
 from repro.cost.mainmemory import MainMemoryCharacteristics, MainMemoryCostModel
 from repro.cost.creation import estimate_creation_time
+from repro.cost.evaluator import BoundLayout, CostEvaluator
 
 __all__ = [
     "CostModel",
+    "CostEvaluator",
+    "BoundLayout",
     "DiskCharacteristics",
     "DEFAULT_DISK",
     "POSTGRES_LIKE_DISK",

@@ -21,6 +21,7 @@ from repro.workload.workload import Workload
 
 if TYPE_CHECKING:  # imported for type hints only, avoids a circular import
     from repro.core.partitioning import Partition, Partitioning
+    from repro.workload.schema import TableSchema
 
 
 class CostModel(abc.ABC):
@@ -28,6 +29,14 @@ class CostModel(abc.ABC):
 
     #: Short identifier used in reports, e.g. ``"hdd"`` or ``"main-memory"``.
     name: str = "abstract"
+
+    #: True if the model implements the fast per-co-read-set hooks below
+    #: (:meth:`group_read_profile` / :meth:`co_read_set_cost`), which the
+    #: :class:`repro.cost.evaluator.CostEvaluator` uses to cost candidate
+    #: layouts without materialising ``Partition``/``Partitioning`` objects.
+    #: Models that leave this False are still supported — the evaluator falls
+    #: back to the naive :meth:`query_cost` path.
+    supports_fast_costing: bool = False
 
     @abc.abstractmethod
     def query_cost(self, query: ResolvedQuery, partitioning: "Partitioning") -> float:
@@ -59,6 +68,35 @@ class CostModel(abc.ABC):
         ``co_read`` must include ``partition`` itself; the disk model uses the
         co-read set to split the I/O buffer.
         """
+
+    # -- fast-costing hooks (used by repro.cost.evaluator.CostEvaluator) ------
+
+    def group_read_profile(self, schema: "TableSchema", row_size: int) -> object:
+        """Layout-independent, group-local data for one column group.
+
+        Whatever this returns is cached per group bitmask by the evaluator and
+        handed back to :meth:`co_read_set_cost`, so models should precompute
+        here everything that depends only on the group's row width and the
+        schema (e.g. block counts).  The default is the bare row size.
+        """
+        return row_size
+
+    def co_read_set_cost(
+        self, schema: "TableSchema", profiles: Sequence[object]
+    ) -> float:
+        """Cost of one query reading the groups with ``profiles`` together.
+
+        ``profiles`` are :meth:`group_read_profile` results of the referenced
+        groups, in the same canonical order :meth:`query_cost` iterates
+        referenced partitions.  For exact agreement, implementations must
+        share the per-group arithmetic with :meth:`query_cost` — the built-in
+        models keep that arithmetic in single private helpers both paths
+        call, so only the orchestration differs.  Models that support this
+        hook set ``supports_fast_costing = True``.
+        """
+        raise NotImplementedError(
+            f"cost model {self.name!r} does not implement fast co-read costing"
+        )
 
     def describe(self) -> str:
         """Human-readable description of the model and its parameters."""

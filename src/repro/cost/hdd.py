@@ -55,6 +55,7 @@ class HDDCostModel(CostModel):
     """
 
     name = "hdd"
+    supports_fast_costing = True
 
     #: Valid buffer sharing policies.
     BUFFER_SHARING_POLICIES = ("proportional", "equal")
@@ -74,40 +75,59 @@ class HDDCostModel(CostModel):
 
     # -- building blocks ------------------------------------------------------
 
+    def _blocks_for_row_size(self, row_count: int, row_size: int) -> int:
+        """Blocks occupied by a column-group file of ``row_size``-byte rows."""
+        rows_per_block = max(1, self.disk.block_size // row_size)
+        return math.ceil(row_count / rows_per_block)
+
     def blocks_on_disk(self, partition: Partition, partitioning: Partitioning) -> int:
         """Number of disk blocks the column-group file of ``partition`` occupies."""
         schema = partitioning.schema
-        row_size = partition.row_size(schema)
-        rows_per_block = max(1, self.disk.block_size // row_size)
-        return math.ceil(schema.row_count / rows_per_block)
+        return self._blocks_for_row_size(schema.row_count, partition.row_size(schema))
+
+    def _buffer_share_bytes(
+        self, row_size: int, total_row_size: int, co_read_count: int
+    ) -> int:
+        """Buffer bytes for one group of a co-read set (single formula copy)."""
+        if self.buffer_sharing == "equal":
+            return self.disk.buffer_size // max(1, co_read_count)
+        if total_row_size <= 0:
+            return self.disk.buffer_size
+        return int(self.disk.buffer_size * row_size / total_row_size)
 
     def buffer_share(
         self, partition: Partition, co_read: Sequence[Partition], partitioning: Partitioning
     ) -> int:
         """Bytes of I/O buffer allocated to ``partition`` within a co-read set."""
-        if self.buffer_sharing == "equal":
-            return self.disk.buffer_size // max(1, len(co_read))
         schema = partitioning.schema
-        row_size = partition.row_size(schema)
-        total_row_size = sum(p.row_size(schema) for p in co_read)
-        if total_row_size <= 0:
-            return self.disk.buffer_size
-        return int(self.disk.buffer_size * row_size / total_row_size)
+        return self._buffer_share_bytes(
+            partition.row_size(schema),
+            sum(p.row_size(schema) for p in co_read),
+            len(co_read),
+        )
+
+    def _seek_seconds(self, blocks: int, buffer_bytes: int) -> float:
+        """Seek time for streaming ``blocks`` through ``buffer_bytes`` of buffer."""
+        buffer_blocks = max(1, buffer_bytes // self.disk.block_size)
+        refills = math.ceil(blocks / buffer_blocks)
+        return self.disk.seek_time * refills
 
     def seek_cost(
         self, partition: Partition, co_read: Sequence[Partition], partitioning: Partitioning
     ) -> float:
         """Seek component of reading ``partition`` alongside ``co_read``."""
-        blocks = self.blocks_on_disk(partition, partitioning)
-        buffer_bytes = self.buffer_share(partition, co_read, partitioning)
-        buffer_blocks = max(1, buffer_bytes // self.disk.block_size)
-        refills = math.ceil(blocks / buffer_blocks)
-        return self.disk.seek_time * refills
+        return self._seek_seconds(
+            self.blocks_on_disk(partition, partitioning),
+            self.buffer_share(partition, co_read, partitioning),
+        )
+
+    def _scan_seconds(self, blocks: int) -> float:
+        """Sequential transfer time for ``blocks`` full blocks."""
+        return blocks * self.disk.block_size / self.disk.read_bandwidth
 
     def scan_cost(self, partition: Partition, partitioning: Partitioning) -> float:
         """Sequential scan component of reading ``partition`` in full."""
-        blocks = self.blocks_on_disk(partition, partitioning)
-        return blocks * self.disk.block_size / self.disk.read_bandwidth
+        return self._scan_seconds(self.blocks_on_disk(partition, partitioning))
 
     # -- CostModel interface --------------------------------------------------
 
@@ -123,7 +143,15 @@ class HDDCostModel(CostModel):
         )
 
     def query_cost(self, query: ResolvedQuery, partitioning: Partitioning) -> float:
-        """Total I/O cost of one query: sum over all referenced partitions."""
+        """Total I/O cost of one query: sum over all referenced partitions.
+
+        Deliberately orchestrated the unoptimized way (per-partition calls
+        that re-derive shares and block counts) so it stays an authentic
+        pre-kernel reference for the cost-kernel microbenchmark; the
+        *arithmetic* is the same ``_buffer_share_bytes`` / ``_seek_seconds``
+        / ``_scan_seconds`` helpers :meth:`co_read_set_cost` uses, so the two
+        paths cannot diverge in value.
+        """
         referenced = partitioning.referenced_partitions(query)
         if not referenced:
             return 0.0
@@ -131,6 +159,29 @@ class HDDCostModel(CostModel):
             self.partition_read_cost(partition, referenced, partitioning)
             for partition in referenced
         )
+
+    # -- fast-costing hooks (CostEvaluator) -----------------------------------
+
+    def group_read_profile(self, schema, row_size: int):
+        """(row_size, blocks_on_disk) — everything group-local the formulas need."""
+        return (row_size, self._blocks_for_row_size(schema.row_count, row_size))
+
+    def co_read_set_cost(self, schema, profiles) -> float:
+        """Seek + scan cost of reading a co-read set, from cached group profiles.
+
+        This is the single summation the naive :meth:`query_cost` and the fast
+        evaluator both go through; the per-group arithmetic is the same
+        :meth:`_buffer_share_bytes`/:meth:`_seek_seconds`/:meth:`_scan_seconds`
+        helpers :meth:`partition_read_cost` uses, so the two paths cannot
+        diverge.
+        """
+        total_row_size = sum(row_size for row_size, _ in profiles)
+        count = len(profiles)
+        total = 0.0
+        for row_size, blocks in profiles:
+            buffer_bytes = self._buffer_share_bytes(row_size, total_row_size, count)
+            total += self._seek_seconds(blocks, buffer_bytes) + self._scan_seconds(blocks)
+        return total
 
     # -- introspection helpers used by metrics --------------------------------
 

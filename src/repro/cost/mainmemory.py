@@ -80,9 +80,17 @@ class MainMemoryCostModel(CostModel):
     """Cache-miss based cost model for main-memory systems (HYRISE setting)."""
 
     name = "main-memory"
+    supports_fast_costing = True
 
     def __init__(self, memory: MainMemoryCharacteristics = DEFAULT_MEMORY) -> None:
         self.memory = memory
+
+    def _misses_for_row_size(self, row_count: int, row_size: int) -> int:
+        """Cache misses of streaming a group of ``row_size``-byte rows."""
+        line = self.memory.cache_line_size
+        if row_size <= line:
+            return math.ceil(row_count * row_size / line)
+        return row_count * math.ceil(row_size / line)
 
     def cache_misses(self, partition: Partition, partitioning: Partitioning) -> int:
         """Cache misses incurred by streaming one full column group.
@@ -93,11 +101,31 @@ class MainMemoryCostModel(CostModel):
         consecutive projections of a row no longer share lines.
         """
         schema = partitioning.schema
-        row_size = partition.row_size(schema)
-        line = self.memory.cache_line_size
-        if row_size <= line:
-            return math.ceil(schema.row_count * row_size / line)
-        return schema.row_count * math.ceil(row_size / line)
+        return self._misses_for_row_size(schema.row_count, partition.row_size(schema))
+
+    # -- fast-costing hooks (CostEvaluator) -----------------------------------
+
+    def group_read_profile(self, schema, row_size: int):
+        """Cache-miss count of the group — the only group-local quantity used."""
+        return self._misses_for_row_size(schema.row_count, row_size)
+
+    def co_read_set_cost(self, schema, profiles) -> float:
+        """Streaming + access-penalty cost of a co-read set from cached misses.
+
+        The single summation shared by the naive :meth:`query_cost` and the
+        fast evaluator; per-group arithmetic lives in :meth:`_read_seconds`.
+        """
+        total = 0.0
+        for misses in profiles:
+            total += self._read_seconds(misses)
+        return total
+
+    def _read_seconds(self, misses: int) -> float:
+        """Streaming cost of one group plus the per-group access penalty."""
+        return (
+            misses * self.memory.cache_miss_latency
+            + self.memory.partition_access_penalty
+        )
 
     def partition_read_cost(
         self,
@@ -106,14 +134,16 @@ class MainMemoryCostModel(CostModel):
         partitioning: Partitioning,
     ) -> float:
         """Streaming cost of one group plus the per-group access penalty."""
-        misses = self.cache_misses(partition, partitioning)
-        return (
-            misses * self.memory.cache_miss_latency
-            + self.memory.partition_access_penalty
-        )
+        return self._read_seconds(self.cache_misses(partition, partitioning))
 
     def query_cost(self, query: ResolvedQuery, partitioning: Partitioning) -> float:
-        """Sum of per-group costs over the referenced groups."""
+        """Sum of per-group costs over the referenced groups.
+
+        Kept as per-partition calls (the pre-kernel reference the cost-kernel
+        microbenchmark compares against); the arithmetic is the same
+        :meth:`_read_seconds` helper :meth:`co_read_set_cost` uses, so the
+        two paths cannot diverge in value.
+        """
         referenced = partitioning.referenced_partitions(query)
         if not referenced:
             return 0.0

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet, Iterable, Optional, Tuple
 
-from repro.workload.schema import TableSchema
+from repro.workload.schema import TableSchema, mask_of
 
 
 class QueryError(ValueError):
@@ -101,14 +101,22 @@ class ResolvedQuery:
     weight: float = 1.0
     selectivity: float = 1.0
     _index_set: FrozenSet[int] = field(default=frozenset(), compare=False, repr=False)
+    _index_mask: int = field(default=0, compare=False, repr=False)
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "_index_set", frozenset(self.attribute_indices))
+        index_set = frozenset(self.attribute_indices)
+        object.__setattr__(self, "_index_set", index_set)
+        object.__setattr__(self, "_index_mask", mask_of(index_set))
 
     @property
     def index_set(self) -> FrozenSet[int]:
         """The referenced indices as a frozenset (cached)."""
         return self._index_set
+
+    @property
+    def index_mask(self) -> int:
+        """The referenced indices as an integer bitmask (bit ``i`` = attribute ``i``)."""
+        return self._index_mask
 
     def references_index(self, index: int) -> bool:
         """True if the query touches the attribute at ``index``."""

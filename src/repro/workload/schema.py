@@ -34,6 +34,32 @@ class SchemaError(ValueError):
     """Raised when a schema definition is inconsistent."""
 
 
+def mask_of(indices: Iterable[int]) -> int:
+    """Integer bitmask of a set of attribute indices (bit ``i`` = attribute ``i``).
+
+    Lives here (the dependency-free bottom of the layering) so that queries,
+    partitions and the cost evaluator all share one definition.
+    """
+    mask = 0
+    for index in indices:
+        mask |= 1 << index
+    return mask
+
+
+def indices_of_mask(mask: int) -> Tuple[int, ...]:
+    """Attribute indices of a bitmask, in increasing order."""
+    if mask < 0:
+        raise ValueError(f"attribute bitmask must be non-negative, got {mask}")
+    indices = []
+    index = 0
+    while mask:
+        if mask & 1:
+            indices.append(index)
+        mask >>= 1
+        index += 1
+    return tuple(indices)
+
+
 @dataclass(frozen=True)
 class Column:
     """One attribute of a logical relation.

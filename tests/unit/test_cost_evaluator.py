@@ -1,0 +1,91 @@
+"""Unit tests for the bitmask cost-evaluation kernel."""
+
+import pytest
+
+from repro.core.partitioning import Partition, Partitioning, merge_group_pair
+from repro.cost.base import CostModel
+from repro.cost.evaluator import CostEvaluator
+from repro.cost.hdd import HDDCostModel
+from repro.cost.mainmemory import MainMemoryCostModel
+from repro.workload.query import Query
+from repro.workload.schema import Column, TableSchema
+from repro.workload.workload import Workload
+
+
+@pytest.fixture
+def workload():
+    schema = TableSchema(
+        "t",
+        [Column("a", 4), Column("b", 8), Column("c", 100), Column("d", 25)],
+        100_000,
+    )
+    return Workload(
+        schema,
+        [
+            Query("Q1", ["a", "b"], weight=2.0),
+            Query("Q2", ["c"]),
+            Query("Q3", ["a", "c", "d"], weight=0.5),
+        ],
+    )
+
+
+class TestCostEvaluator:
+    def test_matches_naive_workload_cost(self, workload):
+        model = HDDCostModel()
+        evaluator = CostEvaluator(workload, model)
+        groups = [frozenset({0, 1}), frozenset({2}), frozenset({3})]
+        naive = model.workload_cost(workload, Partitioning(workload.schema, groups))
+        assert evaluator.evaluate(groups) == naive
+
+    def test_accepts_masks_partitions_and_sets(self, workload):
+        evaluator = CostEvaluator(workload, HDDCostModel())
+        uniform = [frozenset({0, 1}), frozenset({2}), frozenset({3})]
+        mixed = [0b0011, Partition([2]), frozenset({3})]
+        assert evaluator.evaluate(mixed) == evaluator.evaluate(uniform)
+
+    def test_evaluate_merge_matches_from_scratch(self, workload):
+        evaluator = CostEvaluator(workload, MainMemoryCostModel())
+        groups = [frozenset({0}), frozenset({1}), frozenset({2}), frozenset({3})]
+        merged = merge_group_pair(groups, 1, 3)
+        assert evaluator.evaluate_merge(groups, 1, 3) == evaluator.evaluate(merged)
+
+    def test_evaluate_merge_with_duplicate_groups(self, workload):
+        """Regression: the delta path must drop exactly one occurrence of each
+        merged group, not every equal bitmask, when duplicates are present."""
+        model = HDDCostModel()
+        evaluator = CostEvaluator(workload, model)
+        groups = [frozenset({0}), frozenset({0}), frozenset({1})]
+        delta = evaluator.evaluate_merge(groups, 0, 2)
+        from_scratch = evaluator.evaluate([frozenset({0}), frozenset({0, 1})])
+        assert delta == from_scratch
+
+    def test_evaluate_merge_of_equal_groups(self, workload):
+        evaluator = CostEvaluator(workload, HDDCostModel())
+        groups = [frozenset({0}), frozenset({0}), frozenset({1})]
+        assert evaluator.evaluate_merge(groups, 0, 1) == evaluator.evaluate(
+            [frozenset({0}), frozenset({1})]
+        )
+
+    def test_unsupported_model_falls_back_to_naive(self, workload):
+        class FlatModel(CostModel):
+            name = "flat"
+
+            def query_cost(self, query, partitioning):
+                return float(len(partitioning.referenced_partitions(query)))
+
+            def partition_read_cost(self, partition, co_read, partitioning):
+                return 1.0
+
+        model = FlatModel()
+        evaluator = CostEvaluator(workload, model)
+        assert evaluator.naive
+        groups = [frozenset({0, 1}), frozenset({2, 3})]
+        expected = model.workload_cost(workload, Partitioning(workload.schema, groups))
+        assert evaluator.evaluate(groups) == expected
+
+    def test_kernel_counts_candidate_evaluations(self, workload):
+        evaluator = CostEvaluator(workload, HDDCostModel())
+        groups = [frozenset({0, 1}), frozenset({2}), frozenset({3})]
+        evaluator.evaluate(groups)
+        evaluator.evaluate_merge(groups, 0, 1)
+        assert evaluator.evaluations == 2

@@ -51,6 +51,32 @@ class TestHillClimb:
         )
         assert plain.partitioning == with_dictionary.partitioning
 
+    def test_merge_filters_by_index_not_identity(self):
+        """Regression: the old identity-based filter double-kept a group when
+        equal-but-distinct frozensets were passed; merging by index must drop
+        exactly the two requested positions, even with equal groups present."""
+        duplicate_a = frozenset({0})
+        duplicate_b = frozenset({0})
+        assert duplicate_a is not duplicate_b
+        groups = [duplicate_a, duplicate_b, frozenset({1}), frozenset({2})]
+        merged = HillClimbAlgorithm._merge(groups, 1, 2)
+        assert merged == [frozenset({0}), frozenset({2}), frozenset({0, 1})]
+        # The copy at index 0 must survive; the copy at index 1 must be gone.
+        assert merged.count(frozenset({0})) == 1
+
+    def test_merge_of_adjacent_positions(self):
+        groups = [frozenset({0, 1}), frozenset({2}), frozenset({3})]
+        merged = HillClimbAlgorithm._merge(groups, 0, 1)
+        assert sorted(merged, key=sorted) == [frozenset({0, 1, 2}), frozenset({3})]
+
+    def test_naive_costing_produces_identical_layout(self, lineitem_workload, hdd_model):
+        """The pre-kernel costing path (the benchmark's comparison flag) and
+        the memoized evaluator must pick bit-identical layouts."""
+        fast = HillClimbAlgorithm().run(lineitem_workload, hdd_model)
+        naive = HillClimbAlgorithm(naive_costing=True).run(lineitem_workload, hdd_model)
+        assert fast.partitioning == naive.partitioning
+        assert fast.estimated_cost == naive.estimated_cost
+
     def test_fragmented_workload_stays_columnar(self, hdd_model):
         """With disjoint query footprints there is nothing to merge except
         unreferenced attributes, so the layout stays close to columnar."""

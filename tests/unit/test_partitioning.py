@@ -7,10 +7,42 @@ from repro.core.partitioning import (
     Partitioning,
     PartitioningError,
     column_partitioning,
+    indices_of_mask,
+    mask_of,
     partitioning_from_names,
     row_partitioning,
 )
 from repro.workload.query import ResolvedQuery
+
+
+class TestBitmasks:
+    def test_mask_roundtrip(self):
+        assert mask_of([0, 2, 5]) == 0b100101
+        assert indices_of_mask(0b100101) == (0, 2, 5)
+        assert mask_of([]) == 0
+        assert indices_of_mask(0) == ()
+
+    def test_indices_of_mask_rejects_negative(self):
+        with pytest.raises(ValueError):
+            indices_of_mask(-1)
+
+    def test_partition_mask(self):
+        assert Partition([2, 0, 1]).mask == 0b111
+        assert Partition.from_mask(0b101).attributes == frozenset({0, 2})
+
+    def test_from_mask_rejects_invalid(self):
+        with pytest.raises(PartitioningError):
+            Partition.from_mask(0)
+        with pytest.raises(PartitioningError):
+            Partition.from_mask(-1)
+
+    def test_partitioning_from_masks(self, small_schema):
+        layout = Partitioning.from_masks(small_schema, [0b00011, 0b11100])
+        assert layout.as_sets() == [frozenset({0, 1}), frozenset({2, 3, 4})]
+        assert layout.as_masks() == [0b00011, 0b11100]
+
+    def test_resolved_query_index_mask(self):
+        assert ResolvedQuery("Q", (1, 3)).index_mask == 0b1010
 
 
 class TestPartition:
