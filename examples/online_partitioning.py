@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
-"""Online partitioning: watching O2P adapt as queries arrive.
+"""Online partitioning: watching O2P and the adaptive controller on a stream.
 
 O2P was designed for the online setting: it does not see the workload up
 front, but updates its affinity clustering and adds (at most) one split per
-incoming query.  This example replays the Lineitem workload query by query and
-prints the layout O2P has committed to after each step, together with the cost
-it would achieve on the queries seen so far, compared against the offline
-HillClimb layout computed with hindsight.
+incoming query.  This example replays the Lineitem workload as a query
+stream and steps O2P *incrementally* — one :class:`O2PStepper` fed one query
+at a time, with every per-step layout costed through the memoized
+:class:`CostEvaluator` kernel.  The whole replay is a single pass: no
+prefix-workload rebuilding, no from-scratch re-runs per step (the previous
+version of this example recomputed O2P and a hindsight HillClimb on the
+prefix at every arrival, which was quadratic in the stream length).
+
+Afterwards the same stream is run through the online policy harness to
+compare O2P's always-on splitting against the drift-triggered, pay-off-gated
+adaptive controller and the static hindsight layout, using the cumulative
+scan + re-organisation accounting of :mod:`repro.online`.
 
 Usage::
 
@@ -17,42 +25,79 @@ from __future__ import annotations
 
 import sys
 
-from repro.core.algorithm import get_algorithm
+from repro.algorithms.o2p import O2PStepper
+from repro.cost.evaluator import CostEvaluator
 from repro.cost.hdd import HDDCostModel
+from repro.online import (
+    AdaptiveAdvisor,
+    O2PPolicy,
+    hindsight_policy,
+    replay_stream,
+    run_policy,
+)
 from repro.workload import tpch
-from repro.workload.workload import Workload
 
 
 def main() -> None:
     scale_factor = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
-    full_workload = tpch.tpch_workload("lineitem", scale_factor=scale_factor)
+    workload = tpch.tpch_workload("lineitem", scale_factor=scale_factor)
+    stream = replay_stream(workload)
     model = HDDCostModel()
-    names = full_workload.schema.attribute_names
+    names = stream.schema.attribute_names
 
-    print(f"Replaying {full_workload.query_count} Lineitem queries through O2P\n")
-    print(f"{'step':>4s} {'query':>6s} {'parts':>6s} {'O2P cost':>12s} {'hindsight':>12s}")
+    print(f"Replaying {stream.arrival_count} Lineitem queries through O2P\n")
+    print(f"{'step':>4s} {'query':>6s} {'parts':>6s} {'split':>6s} {'window cost':>12s}")
 
-    for step in range(1, full_workload.query_count + 1):
-        seen = Workload(
-            full_workload.schema,
-            list(full_workload.queries[:step]),
-            name=f"lineitem-first-{step}",
-        )
-        o2p_layout = get_algorithm("o2p").compute(seen, model)
-        hindsight = get_algorithm("hillclimb").compute(seen, model)
-        o2p_cost = model.workload_cost(seen, o2p_layout)
-        hindsight_cost = model.workload_cost(seen, hindsight)
-        query_name = full_workload.queries[step - 1].name
+    # One incremental pass: the stepper carries O2P's state across arrivals,
+    # and the evaluator memoizes group profiles and co-read costs.  The
+    # running cost of the seen queries is maintained incrementally — a step
+    # without a split adds only the new query's cost; the seen set is
+    # re-costed only when a split changes the layout, which O2P does at most
+    # (#attributes - 1) times regardless of stream length.
+    stepper = O2PStepper(stream.schema)
+    evaluator = CostEvaluator(workload, model)
+    seen_masks = []
+    layout_masks = stepper.layout_masks()
+    seen_cost = 0.0
+    for step, query in enumerate(stream, start=1):
+        split = stepper.step(query)
+        seen_masks.append((query.index_mask, query.weight))
+        if split:
+            layout_masks = stepper.layout_masks()
+            seen_cost = sum(
+                weight * evaluator.query_cost(mask, layout_masks)
+                for mask, weight in seen_masks
+            )
+        else:
+            seen_cost += query.weight * evaluator.query_cost(
+                query.index_mask, layout_masks
+            )
         print(
-            f"{step:>4d} {query_name:>6s} {o2p_layout.partition_count:>6d} "
-            f"{o2p_cost:>12.3f} {hindsight_cost:>12.3f}"
+            f"{step:>4d} {query.name:>6s} {len(layout_masks):>6d} "
+            f"{'yes' if split else '':>6s} {seen_cost:>12.3f}"
         )
 
     print("\nFinal O2P layout:")
-    final = get_algorithm("o2p").compute(full_workload, model)
-    for index, partition in enumerate(final, start=1):
+    for index, partition in enumerate(stepper.layout(), start=1):
         group = ", ".join(names[i] for i in partition)
         print(f"  P{index}: {group}")
+
+    print("\nPolicy comparison on the same stream (cumulative seconds):")
+    print(
+        f"{'policy':>18s} {'scan':>10s} {'create':>8s} {'opt':>8s} "
+        f"{'total':>10s} {'reorgs':>6s}"
+    )
+    for policy in (
+        hindsight_policy(stream, model),
+        O2PPolicy(),
+        AdaptiveAdvisor(model, window=min(16, stream.arrival_count)),
+    ):
+        result = run_policy(stream, policy, model)
+        print(
+            f"{result.policy:>18s} {result.scan_cost:>10.3f} "
+            f"{result.creation_cost:>8.2f} {result.optimization_time:>8.3f} "
+            f"{result.total_cost:>10.3f} {result.reorg_count:>6d}"
+        )
 
 
 if __name__ == "__main__":

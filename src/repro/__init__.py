@@ -25,7 +25,10 @@ The public surface re-exported here:
   :class:`LayoutAdvisor`, :func:`get_algorithm`,
   :func:`available_algorithms`;
 * metrics — :mod:`repro.metrics`;
-* experiment drivers for every table and figure — :mod:`repro.experiments`.
+* experiment drivers for every table and figure — :mod:`repro.experiments`;
+* the streaming/adaptive re-partitioning subsystem — :mod:`repro.online`
+  (query streams, windowed statistics, drift triggers, the pay-off-gated
+  :class:`~repro.online.controller.AdaptiveAdvisor`; see ``docs/ONLINE.md``).
 """
 
 from repro.workload import Column, Query, TableSchema, Workload
@@ -45,7 +48,7 @@ from repro.core import (
     get_algorithm,
     row_partitioning,
 )
-from repro import algorithms, metrics
+from repro import algorithms, metrics, online
 
 __version__ = "1.0.0"
 
@@ -70,5 +73,6 @@ __all__ = [
     "available_algorithms",
     "algorithms",
     "metrics",
+    "online",
     "__version__",
 ]

@@ -15,8 +15,17 @@ Faithful to the original, the split decision uses Navathe's affinity objective
 :func:`repro.algorithms.navathe.affinity_split_gain`); the I/O cost model is
 only used by the surrounding framework to *evaluate* the resulting layout.
 
-Unified-setting replay: the offline workload is fed to the algorithm query by
-query in workload order; the layout reached after the last query is returned.
+Two entry points share one implementation:
+
+* :class:`O2PStepper` is the genuinely online form — construct it once for a
+  schema and feed it queries one at a time via :meth:`O2PStepper.step`.  The
+  streaming subsystem (:mod:`repro.online`) uses it as the always-on
+  incremental baseline, and costs the per-step layouts through the memoized
+  :class:`~repro.cost.evaluator.CostEvaluator` fast path instead of building
+  and costing a fresh ``Partitioning`` per arrival.
+* :class:`O2PAlgorithm` is the paper's unified-setting replay: the offline
+  workload is fed to a stepper query by query in workload order and the
+  layout reached after the last query is returned.
 """
 
 from __future__ import annotations
@@ -31,7 +40,101 @@ from repro.core.algorithm import PartitioningAlgorithm, register_algorithm
 from repro.core.partitioning import Partition, Partitioning, mask_of
 from repro.cost.base import CostModel
 from repro.workload.query import ResolvedQuery
+from repro.workload.schema import TableSchema
 from repro.workload.workload import Workload
+
+
+class O2PStepper:
+    """Incremental O2P state: one greedy split decision per arriving query.
+
+    The stepper owns the affinity matrix, the bond-energy attribute order,
+    the committed split points and the dynamic-programming gain memo; each
+    :meth:`step` performs exactly the per-query work of the original
+    algorithm.  The resulting layout is available at any time via
+    :meth:`layout` (as group bitmasks via :meth:`layout_masks`, which is what
+    the online harness feeds to the cost kernel).
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        max_splits_per_step: int = 1,
+        reorder_until_first_split: bool = True,
+    ) -> None:
+        if max_splits_per_step < 1:
+            raise ValueError("max_splits_per_step must be >= 1")
+        self.schema = schema
+        self.max_splits_per_step = max_splits_per_step
+        self.reorder_until_first_split = reorder_until_first_split
+        n = schema.attribute_count
+        self.affinity = np.zeros((n, n), dtype=float)
+        self.order: List[int] = list(range(n))
+        self.split_points: Set[int] = set()
+        # Dynamic programming memo: z-gain of each candidate split position
+        # under the current affinity matrix.  New queries invalidate only the
+        # positions whose surrounding segment they touch; applying a split
+        # invalidates the positions of the segment that was split.
+        self._gain_memo: Dict[int, float] = {}
+        self.steps = 0
+        self.splits = 0
+
+    def step(self, query: ResolvedQuery) -> bool:
+        """Feed one arriving query; return True if a new split was committed."""
+        self.steps += 1
+        _update_affinity(self.affinity, query)
+
+        # Incremental clustering: keep re-clustering while the table is
+        # still physically one piece; once data has been split, an online
+        # system no longer reshuffles the stored attribute order.
+        if not self.split_points and self.reorder_until_first_split:
+            new_order = bond_energy_order(self.affinity)
+            if new_order != self.order:
+                self.order = new_order
+                self._gain_memo.clear()
+
+        self._gain_memo = _refresh_gains(
+            self.order,
+            self.split_points,
+            self.affinity,
+            self._gain_memo,
+            touched=query.index_mask,
+        )
+
+        splits_before = self.splits
+        for _ in range(self.max_splits_per_step):
+            position = _best_split(self._gain_memo, self.split_points)
+            if position is None:
+                break
+            # Gains of positions inside the segment being split were
+            # computed against that (now obsolete) segment; drop them so
+            # they are recomputed next step.  The membership test must use
+            # the boundaries *before* the new split is added.
+            old_boundaries = set(self.split_points)
+            self.split_points.add(position)
+            self.splits += 1
+            self._gain_memo = {
+                pos: gain
+                for pos, gain in self._gain_memo.items()
+                if not _same_segment(pos, position, old_boundaries)
+            }
+        return self.splits > splits_before
+
+    def layout(self) -> Partitioning:
+        """The partitioning the stepper has committed to so far."""
+        return _materialise_layout(self.schema, self.order, self.split_points)
+
+    def layout_masks(self) -> List[int]:
+        """The current column groups as attribute bitmasks (for the cost kernel)."""
+        return [mask_of(segment) for segment in _segments(self.order, self.split_points)]
+
+    def metadata(self) -> Dict[str, object]:
+        """Diagnostics in the same shape ``O2PAlgorithm`` reports per run."""
+        return {
+            "steps": self.steps,
+            "splits": self.splits,
+            "final_order": list(self.order),
+            "split_points": sorted(self.split_points),
+        }
 
 
 @register_algorithm("o2p")
@@ -56,160 +159,128 @@ class O2PAlgorithm(PartitioningAlgorithm):
 
     def compute(self, workload: Workload, cost_model: CostModel) -> Partitioning:
         """Replay the workload online and return the final layout."""
-        schema = workload.schema
-        n = schema.attribute_count
-        affinity = np.zeros((n, n), dtype=float)
-        order: List[int] = list(range(n))
-        split_points: Set[int] = set()
-        # Dynamic programming memo: z-gain of each candidate split position
-        # under the current affinity matrix.  New queries invalidate only the
-        # positions whose surrounding segment they touch; applying a split
-        # invalidates the positions of the segment that was split.
-        gain_memo: Dict[int, float] = {}
-        total_splits = 0
-        steps = 0
-
+        stepper = self.stepper(workload.schema)
         for query in workload:
-            steps += 1
-            self._update_affinity(affinity, query)
+            stepper.step(query)
+        self._metadata = stepper.metadata()
+        return stepper.layout()
 
-            # Incremental clustering: keep re-clustering while the table is
-            # still physically one piece; once data has been split, an online
-            # system no longer reshuffles the stored attribute order.
-            if not split_points and self.reorder_until_first_split:
-                new_order = bond_energy_order(affinity)
-                if new_order != order:
-                    order = new_order
-                    gain_memo.clear()
-
-            gain_memo = self._refresh_gains(
-                order, split_points, affinity, gain_memo, touched=query.index_mask
-            )
-
-            for _ in range(self.max_splits_per_step):
-                position = self._best_split(gain_memo, split_points)
-                if position is None:
-                    break
-                # Gains of positions inside the segment being split were
-                # computed against that (now obsolete) segment; drop them so
-                # they are recomputed next step.  The membership test must use
-                # the boundaries *before* the new split is added.
-                old_boundaries = set(split_points)
-                split_points.add(position)
-                total_splits += 1
-                gain_memo = {
-                    pos: gain
-                    for pos, gain in gain_memo.items()
-                    if not self._same_segment(pos, position, old_boundaries)
-                }
-
-        self._metadata = {
-            "steps": steps,
-            "splits": total_splits,
-            "final_order": list(order),
-            "split_points": sorted(split_points),
-        }
-        return self._layout(schema, order, split_points)
-
-    # -- helpers ---------------------------------------------------------------
-
-    @staticmethod
-    def _update_affinity(affinity: np.ndarray, query: ResolvedQuery) -> None:
-        """Add one query's co-access counts to the affinity matrix in place."""
-        indices = list(query.attribute_indices)
-        for i in indices:
-            for j in indices:
-                affinity[i, j] += query.weight
-
-    def _refresh_gains(
-        self,
-        order: Sequence[int],
-        split_points: Set[int],
-        affinity: np.ndarray,
-        memo: Dict[int, float],
-        touched: int,
-    ) -> Dict[int, float]:
-        """Recompute z-gains for candidate positions affected by the new query.
-
-        ``touched`` is the new query's attribute bitmask.  Positions whose
-        surrounding segment contains none of the attributes the new query
-        touches keep their memoised gain (the new query cannot change the
-        affinity block sums of that segment).
-        """
-        refreshed: Dict[int, float] = {}
-        for position in range(1, len(order)):
-            if position in split_points:
-                continue
-            segment, start = self._segment_of(position, split_points, order)
-            if position in memo and not mask_of(segment) & touched:
-                refreshed[position] = memo[position]
-                continue
-            local_split = position - start
-            refreshed[position] = affinity_split_gain(
-                affinity, segment[:local_split], segment[local_split:]
-            )
-        return refreshed
-
-    @staticmethod
-    def _best_split(gain_memo: Dict[int, float], split_points: Set[int]) -> Optional[int]:
-        """The candidate position with the largest strictly positive z-gain."""
-        best_position = None
-        best_gain = 0.0
-        for position, gain in gain_memo.items():
-            if position in split_points:
-                continue
-            if gain > best_gain:
-                best_gain = gain
-                best_position = position
-        return best_position
-
-    @staticmethod
-    def _segment_of(
-        position: int, split_points: Set[int], order: Sequence[int]
-    ) -> Tuple[List[int], int]:
-        """The contiguous segment of ``order`` containing gap ``position``.
-
-        Returns the segment's attributes and its start offset in ``order``.
-        """
-        boundaries = sorted(split_points)
-        start = 0
-        end = len(order)
-        for boundary in boundaries:
-            if boundary <= position:
-                start = boundary
-            else:
-                end = boundary
-                break
-        return list(order[start:end]), start
-
-    @staticmethod
-    def _same_segment(position: int, other: int, split_points: Set[int]) -> bool:
-        """True if two gap positions fall inside the same current segment."""
-        boundaries = sorted(split_points)
-
-        def segment_index(pos: int) -> int:
-            index = 0
-            for boundary in boundaries:
-                if boundary <= pos:
-                    index += 1
-            return index
-
-        return segment_index(position) == segment_index(other)
-
-    @staticmethod
-    def _layout(schema, order: Sequence[int], split_points: Set[int]) -> Partitioning:
-        """Materialise the partitioning defined by an order plus split points."""
-        boundaries = sorted(split_points)
-        segments: List[List[int]] = []
-        start = 0
-        for boundary in boundaries:
-            segments.append(list(order[start:boundary]))
-            start = boundary
-        segments.append(list(order[start:]))
-        segments = [segment for segment in segments if segment]
-        return Partitioning(
-            schema, [Partition(segment) for segment in segments], validate=False
+    def stepper(self, schema: TableSchema) -> O2PStepper:
+        """An incremental stepper configured like this algorithm instance."""
+        return O2PStepper(
+            schema,
+            max_splits_per_step=self.max_splits_per_step,
+            reorder_until_first_split=self.reorder_until_first_split,
         )
 
     def last_run_metadata(self) -> Dict[str, object]:
         return dict(self._metadata)
+
+
+# -- shared incremental machinery -----------------------------------------------
+
+
+def _update_affinity(affinity: np.ndarray, query: ResolvedQuery) -> None:
+    """Add one query's co-access counts to the affinity matrix in place."""
+    indices = list(query.attribute_indices)
+    for i in indices:
+        for j in indices:
+            affinity[i, j] += query.weight
+
+
+def _refresh_gains(
+    order: Sequence[int],
+    split_points: Set[int],
+    affinity: np.ndarray,
+    memo: Dict[int, float],
+    touched: int,
+) -> Dict[int, float]:
+    """Recompute z-gains for candidate positions affected by the new query.
+
+    ``touched`` is the new query's attribute bitmask.  Positions whose
+    surrounding segment contains none of the attributes the new query
+    touches keep their memoised gain (the new query cannot change the
+    affinity block sums of that segment).
+    """
+    refreshed: Dict[int, float] = {}
+    for position in range(1, len(order)):
+        if position in split_points:
+            continue
+        segment, start = _segment_of(position, split_points, order)
+        if position in memo and not mask_of(segment) & touched:
+            refreshed[position] = memo[position]
+            continue
+        local_split = position - start
+        refreshed[position] = affinity_split_gain(
+            affinity, segment[:local_split], segment[local_split:]
+        )
+    return refreshed
+
+
+def _best_split(gain_memo: Dict[int, float], split_points: Set[int]) -> Optional[int]:
+    """The candidate position with the largest strictly positive z-gain."""
+    best_position = None
+    best_gain = 0.0
+    for position, gain in gain_memo.items():
+        if position in split_points:
+            continue
+        if gain > best_gain:
+            best_gain = gain
+            best_position = position
+    return best_position
+
+
+def _segment_of(
+    position: int, split_points: Set[int], order: Sequence[int]
+) -> Tuple[List[int], int]:
+    """The contiguous segment of ``order`` containing gap ``position``.
+
+    Returns the segment's attributes and its start offset in ``order``.
+    """
+    boundaries = sorted(split_points)
+    start = 0
+    end = len(order)
+    for boundary in boundaries:
+        if boundary <= position:
+            start = boundary
+        else:
+            end = boundary
+            break
+    return list(order[start:end]), start
+
+
+def _same_segment(position: int, other: int, split_points: Set[int]) -> bool:
+    """True if two gap positions fall inside the same current segment."""
+    boundaries = sorted(split_points)
+
+    def segment_index(pos: int) -> int:
+        index = 0
+        for boundary in boundaries:
+            if boundary <= pos:
+                index += 1
+        return index
+
+    return segment_index(position) == segment_index(other)
+
+
+def _segments(order: Sequence[int], split_points: Set[int]) -> List[List[int]]:
+    """The non-empty contiguous segments defined by an order plus split points."""
+    boundaries = sorted(split_points)
+    segments: List[List[int]] = []
+    start = 0
+    for boundary in boundaries:
+        segments.append(list(order[start:boundary]))
+        start = boundary
+    segments.append(list(order[start:]))
+    return [segment for segment in segments if segment]
+
+
+def _materialise_layout(
+    schema: TableSchema, order: Sequence[int], split_points: Set[int]
+) -> Partitioning:
+    """Materialise the partitioning defined by an order plus split points."""
+    return Partitioning(
+        schema,
+        [Partition(segment) for segment in _segments(order, split_points)],
+        validate=False,
+    )

@@ -188,6 +188,39 @@ class LayoutAdvisor:
         """Just the best layout for ``workload`` (cheapest estimated cost)."""
         return self.recommend(workload).best.partitioning
 
+    # -- online entry point ----------------------------------------------------
+
+    def recommend_online(
+        self,
+        stream,
+        algorithm: str = "hillclimb",
+        window: int = 32,
+        **adaptive_options,
+    ):
+        """Run the adaptive online controller over a query stream.
+
+        The dynamic-workload counterpart of :meth:`recommend`: instead of
+        optimising a workload known up front, an
+        :class:`~repro.online.controller.AdaptiveAdvisor` watches the stream
+        through windowed statistics, re-runs ``algorithm`` when drift is
+        detected, and re-partitions only when the pay-off clears its budget.
+        Returns the :class:`~repro.online.controller.OnlineRunResult` with
+        the cumulative scan/creation/optimisation accounting and the final
+        layout.  Extra keyword arguments go to ``AdaptiveAdvisor`` (e.g.
+        ``payoff_limit``, a custom ``detector`` or ``stats``).
+        """
+        # Imported here to avoid a circular import at package load time.
+        from repro.online.controller import AdaptiveAdvisor, run_policy
+
+        policy = AdaptiveAdvisor(
+            cost_model=self.cost_model,
+            algorithm=algorithm,
+            algorithm_options=self.algorithm_options.get(algorithm),
+            window=window,
+            **adaptive_options,
+        )
+        return run_policy(stream, policy, self.cost_model)
+
     # -- multiple workloads ----------------------------------------------------
 
     def recommend_all(

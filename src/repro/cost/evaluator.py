@@ -177,6 +177,51 @@ class CostEvaluator:
             total += weight * self._signature_cost(signature)
         return total
 
+    def query_cost(self, query_mask: int, groups: Iterable[GroupLike]) -> float:
+        """Cost of a single query (given by attribute bitmask) under a layout.
+
+        The online subsystem charges every arriving query its scan cost under
+        the currently deployed layout; going through the evaluator makes that
+        a cache hit on the *(co-read signature → cost)* table for every
+        repeated footprint.  Bit-identical to
+        ``cost_model.query_cost(query, Partitioning(schema, groups))``.
+        """
+        masks = self.masks_of(groups)
+        if self.naive:
+            from repro.workload.query import ResolvedQuery
+
+            query = ResolvedQuery(
+                name="q", attribute_indices=indices_of_mask(query_mask)
+            )
+            return self.cost_model.query_cost(
+                query, Partitioning.from_masks(self.schema, masks, validate=False)
+            )
+        ordered = self._ordered(masks)
+        signature = tuple(mask for mask in ordered if mask & query_mask)
+        return self._signature_cost(signature)
+
+    def rebind(self, workload: Workload) -> "CostEvaluator":
+        """A fresh evaluator for another workload over the same schema, sharing caches.
+
+        The group-profile and co-read-cost caches are keyed by group bitmask
+        and co-read signature only — they depend on the *schema* and the cost
+        model, never on which queries are in the workload — so windowed/online
+        callers can re-bind a sliding-window snapshot every few arrivals
+        without losing anything already memoized.  The schemas must be equal
+        (same attribute widths and row count); rebinding to a different table
+        would poison the shared caches.
+        """
+        if workload.schema != self.schema:
+            raise ValueError(
+                "rebind requires an identical schema; got "
+                f"{workload.schema.name!r} for evaluator bound to {self.schema.name!r}"
+            )
+        clone = CostEvaluator(workload, self.cost_model, naive=self.naive)
+        clone._group_keys = self._group_keys
+        clone._group_profiles = self._group_profiles
+        clone._signature_costs = self._signature_costs
+        return clone
+
     def bind(self, groups: Iterable[GroupLike]) -> "BoundLayout":
         """Bind a base layout for repeated delta costing.
 

@@ -27,6 +27,10 @@ Table 5         :func:`repro.experiments.quality.improvement_over_column_by_benc
 Table 6         :func:`repro.experiments.quality.improvement_over_column_by_cost_model`
 Table 7         :func:`repro.experiments.dbms_x_experiment.dbms_x_runtimes`
 ==============  ==========================================================
+
+Beyond the paper's figures, :func:`repro.experiments.adaptive.adaptive_policy_comparison`
+drives the dynamic-workload scenario (``docs/ONLINE.md``): online policies on
+a drifting query stream, charged cumulative scan + re-organisation cost.
 """
 
 from repro.experiments.runner import (
@@ -44,6 +48,7 @@ from repro.experiments import (
     payoff,
     layouts,
     dbms_x_experiment,
+    adaptive,
 )
 from repro.experiments.report import format_table, format_percentage
 
@@ -60,6 +65,7 @@ __all__ = [
     "payoff",
     "layouts",
     "dbms_x_experiment",
+    "adaptive",
     "format_table",
     "format_percentage",
 ]

@@ -27,14 +27,17 @@ def payoff_fraction(
 ) -> float:
     """Fraction (or multiple) of the workload needed to amortise the investment.
 
-    Returns ``math.inf`` if the layout's cost equals the baseline exactly
-    (no improvement, nothing ever pays off), and a negative number if the
-    layout is worse than the baseline.
+    Returns ``0.0`` when nothing was invested and nothing was gained (keeping
+    the current layout is "paid off" immediately — the adaptive controller
+    relies on this when it declines a re-partitioning), ``math.inf`` if time
+    was invested but the layout's cost equals the baseline exactly (no
+    improvement, nothing ever pays off), and a negative number if the layout
+    is worse than the baseline.
     """
     if optimization_time < 0 or creation_time < 0:
         raise ValueError("times must be non-negative")
     improvement = baseline_cost - layout_cost
     invested = optimization_time + creation_time
     if improvement == 0.0:
-        return math.inf
+        return 0.0 if invested == 0.0 else math.inf
     return invested / improvement

@@ -1,0 +1,72 @@
+"""Streaming, adaptive re-partitioning: the dynamic-workload subsystem.
+
+The paper compares vertical partitioning algorithms in a strictly offline
+setting; this package opens the *dynamic* question its own online algorithm
+(O2P) and pay-off metric (Appendix A.1) beg — when a workload shifts, when is
+re-partitioning worth it?  See ``docs/ONLINE.md`` for the architecture.
+
+* :mod:`repro.online.stream` — query streams: workload replay and
+  seed-deterministic synthetic drift (phase shifts, rotating hot attribute
+  sets, Zipf-skewed template frequencies);
+* :mod:`repro.online.stats` — sliding-window and exponentially decayed
+  workload summaries, maintained incrementally per arrival and
+  materialisable into an offline ``Workload``;
+* :mod:`repro.online.drift` — cost-regret drift triggers over the windowed
+  statistics, costed through the memoized ``CostEvaluator``;
+* :mod:`repro.online.controller` — the pay-off-gated
+  :class:`~repro.online.controller.AdaptiveAdvisor`, the baseline policies
+  it is compared against, and the :func:`~repro.online.controller.run_policy`
+  harness that accounts cumulative scan + re-organisation cost.
+"""
+
+from repro.online.stream import (
+    QueryStream,
+    StreamError,
+    phase_shift_stream,
+    replay_stream,
+    rotating_hot_set_stream,
+    zipf_template_stream,
+)
+from repro.online.stats import (
+    DecayedStats,
+    SlidingWindowStats,
+    WorkloadStatistics,
+)
+from repro.online.drift import CostRegretDetector, DriftDecision, best_case_bound
+from repro.online.controller import (
+    AdaptiveAdvisor,
+    O2PPolicy,
+    OnlinePolicy,
+    OnlineRunResult,
+    Reorganization,
+    ReorgEvent,
+    ReorgEveryQueryPolicy,
+    StaticPolicy,
+    hindsight_policy,
+    run_policy,
+)
+
+__all__ = [
+    "QueryStream",
+    "StreamError",
+    "replay_stream",
+    "phase_shift_stream",
+    "rotating_hot_set_stream",
+    "zipf_template_stream",
+    "WorkloadStatistics",
+    "SlidingWindowStats",
+    "DecayedStats",
+    "CostRegretDetector",
+    "DriftDecision",
+    "best_case_bound",
+    "OnlinePolicy",
+    "OnlineRunResult",
+    "Reorganization",
+    "ReorgEvent",
+    "StaticPolicy",
+    "hindsight_policy",
+    "O2PPolicy",
+    "ReorgEveryQueryPolicy",
+    "AdaptiveAdvisor",
+    "run_policy",
+]

@@ -1,0 +1,458 @@
+"""Adaptive re-partitioning controller and the online policy harness.
+
+:func:`run_policy` replays a :class:`~repro.online.stream.QueryStream`
+against an :class:`OnlinePolicy` and accounts the *cumulative* cost the
+paper's pay-off metric reasons about, all in seconds:
+
+* **scan cost** — every arriving query is charged its cost under the layout
+  deployed *at arrival time*, evaluated through the memoized
+  :class:`~repro.cost.evaluator.CostEvaluator` (repeated footprints are
+  cache hits, so charging a query is O(1) after its first occurrence);
+* **creation cost** — every re-organisation is charged the physical
+  transformation time of :func:`repro.cost.creation.estimate_creation_time`
+  (a full read-transform-write of the table; streams start on a row layout,
+  so a policy whose first deployment differs from row pays for it too);
+* **optimisation time** — the wall-clock seconds the policy spent deciding
+  (running offline algorithms on windows, stepping O2P, ...).
+
+Policies
+--------
+
+* :class:`StaticPolicy` — deploy one fixed layout, never adapt
+  (:func:`hindsight_policy` builds the paper-style offline baseline: run an
+  algorithm on the *whole* stream with hindsight and deploy its layout at
+  the start).
+* :class:`O2PPolicy` — the always-on incremental baseline: O2P's stepper
+  commits at most one split per arrival, each split is a re-organisation.
+* :class:`ReorgEveryQueryPolicy` — the other extreme: re-run an offline
+  algorithm on the sliding window after every arrival and deploy whatever
+  it returns.
+* :class:`AdaptiveAdvisor` — the adaptive controller: maintain windowed
+  statistics, let a :class:`~repro.online.drift.CostRegretDetector` decide
+  *when* re-partitioning is worth considering, run a registered offline
+  algorithm on the window only then, and re-partition only when the
+  projected pay-off (optimisation + creation time against the windowed
+  improvement, :func:`repro.metrics.payoff.payoff_fraction`) clears the
+  configured budget.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.algorithm import get_algorithm
+from repro.core.partitioning import Partitioning, row_partitioning
+from repro.cost.base import CostModel
+from repro.cost.creation import estimate_creation_time
+from repro.cost.disk import DEFAULT_DISK
+from repro.cost.evaluator import CostEvaluator
+from repro.cost.hdd import HDDCostModel
+from repro.metrics.payoff import payoff_fraction
+from repro.online.drift import CostRegretDetector
+from repro.online.stats import SlidingWindowStats, WorkloadStatistics
+from repro.online.stream import QueryStream
+from repro.workload.query import ResolvedQuery
+from repro.workload.schema import TableSchema
+from repro.workload.workload import Workload
+
+
+@dataclass(frozen=True)
+class Reorganization:
+    """A policy's decision to deploy a new layout after the current arrival."""
+
+    layout: Partitioning
+    reason: str = ""
+
+
+@dataclass
+class ReorgEvent:
+    """One charged re-organisation during a policy run."""
+
+    arrival: int
+    layout: Partitioning
+    creation_time: float
+    reason: str
+
+
+@dataclass
+class OnlineRunResult:
+    """Cumulative accounting of one policy over one stream."""
+
+    policy: str
+    stream_name: str
+    arrivals: int
+    scan_cost: float
+    creation_cost: float
+    optimization_time: float
+    events: List[ReorgEvent] = field(default_factory=list)
+    final_layout: Optional[Partitioning] = None
+
+    @property
+    def reorg_count(self) -> int:
+        """Number of charged re-organisations (including an initial deploy)."""
+        return len(self.events)
+
+    @property
+    def total_cost(self) -> float:
+        """Scan + creation + optimisation seconds — the comparison number."""
+        return self.scan_cost + self.creation_cost + self.optimization_time
+
+    def to_row(self) -> Dict[str, object]:
+        """Tabular form for the experiment report."""
+        return {
+            "policy": self.policy,
+            "scan_cost_s": self.scan_cost,
+            "creation_cost_s": self.creation_cost,
+            "optimization_time_s": self.optimization_time,
+            "total_cost_s": self.total_cost,
+            "reorgs": self.reorg_count,
+            "final_partitions": (
+                self.final_layout.partition_count if self.final_layout else 0
+            ),
+        }
+
+
+class OnlinePolicy(abc.ABC):
+    """A re-partitioning policy fed one arriving query at a time."""
+
+    #: Policy identifier used in reports.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        #: Wall-clock seconds the policy spent deciding (accumulated).
+        self.optimization_time = 0.0
+
+    @abc.abstractmethod
+    def start(self, schema: TableSchema) -> Partitioning:
+        """Reset state for a new stream and return the initial layout."""
+
+    @abc.abstractmethod
+    def on_query(self, arrival: int, query: ResolvedQuery) -> Optional[Reorganization]:
+        """React to one arrival; return a re-organisation or ``None``."""
+
+
+def run_policy(
+    stream: QueryStream,
+    policy: OnlinePolicy,
+    cost_model: Optional[CostModel] = None,
+) -> OnlineRunResult:
+    """Replay ``stream`` against ``policy`` and account the cumulative cost."""
+    model = cost_model if cost_model is not None else HDDCostModel()
+    disk = getattr(model, "disk", DEFAULT_DISK)
+    evaluator = CostEvaluator(
+        Workload(stream.schema, [], name=f"{stream.name}-online"), model
+    )
+    layout = policy.start(stream.schema)
+    layout_masks = layout.as_masks()
+    result = OnlineRunResult(
+        policy=policy.name,
+        stream_name=stream.name,
+        arrivals=stream.arrival_count,
+        scan_cost=0.0,
+        creation_cost=0.0,
+        optimization_time=0.0,
+    )
+    # Streams start physically stored as a row table; an initial deployment
+    # that differs from row is a real transformation and is charged as one.
+    if not layout.is_row_layout():
+        creation = estimate_creation_time(layout, disk)
+        result.creation_cost += creation
+        result.events.append(ReorgEvent(0, layout, creation, "initial-deployment"))
+
+    for arrival, query in enumerate(stream):
+        # The arriving query executes under the layout deployed *now*; a
+        # policy's reaction can only benefit later arrivals.
+        result.scan_cost += query.weight * evaluator.query_cost(
+            query.index_mask, layout_masks
+        )
+        reorganization = policy.on_query(arrival, query)
+        if reorganization is not None and reorganization.layout != layout:
+            layout = reorganization.layout
+            layout_masks = layout.as_masks()
+            creation = estimate_creation_time(layout, disk)
+            result.creation_cost += creation
+            result.events.append(
+                ReorgEvent(arrival, layout, creation, reorganization.reason)
+            )
+
+    result.optimization_time = policy.optimization_time
+    result.final_layout = layout
+    return result
+
+
+# -- baseline policies -----------------------------------------------------------
+
+
+class StaticPolicy(OnlinePolicy):
+    """Deploy one fixed layout at the start and never adapt."""
+
+    def __init__(self, layout: Partitioning, name: str = "static") -> None:
+        super().__init__()
+        self.layout = layout
+        self.name = name
+
+    def start(self, schema: TableSchema) -> Partitioning:
+        return self.layout
+
+    def on_query(self, arrival: int, query: ResolvedQuery) -> Optional[Reorganization]:
+        return None
+
+
+def hindsight_policy(
+    stream: QueryStream,
+    cost_model: Optional[CostModel] = None,
+    algorithm: str = "hillclimb",
+    algorithm_options: Optional[Mapping[str, object]] = None,
+) -> StaticPolicy:
+    """The offline baseline: optimise the *whole* stream with hindsight.
+
+    Runs ``algorithm`` on the stream's hindsight workload and returns a
+    static policy deploying that layout at the start (its optimisation time
+    is charged to the policy, its creation time by the harness).
+    """
+    model = cost_model if cost_model is not None else HDDCostModel()
+    result = get_algorithm(algorithm, **dict(algorithm_options or {})).run(
+        stream.as_workload(), model
+    )
+    policy = StaticPolicy(result.partitioning, name="static-hindsight")
+    policy.optimization_time = result.optimization_time
+    return policy
+
+
+class O2PPolicy(OnlinePolicy):
+    """Always-on incremental baseline: one greedy O2P split per arrival.
+
+    Every committed split is a physical re-organisation (charged as a full
+    table rewrite, like every other policy's re-organisations).  The
+    per-step layouts are costed by the harness through the
+    :class:`~repro.cost.evaluator.CostEvaluator` fast path — the stepper
+    itself never builds or costs a throwaway ``Partitioning``.
+    """
+
+    name = "o2p-incremental"
+
+    def __init__(self, max_splits_per_step: int = 1) -> None:
+        super().__init__()
+        self.max_splits_per_step = max_splits_per_step
+        self._stepper = None
+
+    def start(self, schema: TableSchema) -> Partitioning:
+        from repro.algorithms.o2p import O2PStepper
+
+        self._stepper = O2PStepper(schema, max_splits_per_step=self.max_splits_per_step)
+        self.optimization_time = 0.0
+        return row_partitioning(schema)
+
+    def on_query(self, arrival: int, query: ResolvedQuery) -> Optional[Reorganization]:
+        started = time.perf_counter()
+        changed = self._stepper.step(query)
+        self.optimization_time += time.perf_counter() - started
+        if not changed:
+            return None
+        return Reorganization(self._stepper.layout(), reason="o2p-split")
+
+
+class ReorgEveryQueryPolicy(OnlinePolicy):
+    """Degenerate upper baseline: re-optimise the window after every arrival.
+
+    Whatever the offline algorithm returns for the current sliding window is
+    deployed immediately — every layout change pays a full re-organisation,
+    and the optimisation runs whether or not anything changed.
+    """
+
+    name = "reorg-every-query"
+
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        algorithm: str = "hillclimb",
+        window: int = 64,
+        algorithm_options: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        super().__init__()
+        self.cost_model = cost_model if cost_model is not None else HDDCostModel()
+        self.algorithm = algorithm
+        self.window = window
+        self.algorithm_options = dict(algorithm_options or {})
+        self._stats: Optional[SlidingWindowStats] = None
+
+    def start(self, schema: TableSchema) -> Partitioning:
+        self._stats = SlidingWindowStats(schema, self.window)
+        self.optimization_time = 0.0
+        return row_partitioning(schema)
+
+    def on_query(self, arrival: int, query: ResolvedQuery) -> Optional[Reorganization]:
+        self._stats.observe(query)
+        algorithm = get_algorithm(self.algorithm, **self.algorithm_options)
+        result = algorithm.run(self._stats.as_workload(), self.cost_model)
+        self.optimization_time += result.optimization_time
+        return Reorganization(result.partitioning, reason="recompute")
+
+
+# -- the adaptive controller ------------------------------------------------------
+
+
+class AdaptiveAdvisor(OnlinePolicy):
+    """Drift-triggered, pay-off-gated adaptive re-partitioning.
+
+    Per arrival the controller folds the query into its windowed statistics
+    (O(footprint²) incremental work, see :mod:`repro.online.stats`) and asks
+    the drift detector whether a check is due; only when the detector fires
+    does it run the configured offline algorithm on the window.  Even then
+    it re-partitions only if the candidate's projected pay-off clears the
+    budget: the invested time (optimisation + physical creation) must be
+    recovered within ``payoff_limit`` executions of the current window's
+    workload, measured by :func:`repro.metrics.payoff.payoff_fraction`.
+
+    Parameters
+    ----------
+    cost_model:
+        Model used for windowed costing and by the offline algorithm.
+    algorithm:
+        Registry name of the offline algorithm run on trigger (default
+        ``"hillclimb"``, the paper's quality/effort sweet spot).
+    algorithm_options:
+        Constructor keyword arguments for that algorithm.
+    window:
+        Sliding window size when no ``stats`` object is supplied.
+    stats:
+        Optional pre-built statistics object (e.g. a
+        :class:`~repro.online.stats.DecayedStats`); defaults to a fresh
+        :class:`~repro.online.stats.SlidingWindowStats` per stream.
+    detector:
+        Optional pre-built :class:`~repro.online.drift.CostRegretDetector`;
+        the default fires at regret > 0.75, warms up for a quarter window
+        and cools down for an eighth of a window after every considered
+        trigger (long cooldowns make the controller slow to finish adapting
+        across a phase boundary, where the first re-organisation is computed
+        from a still-mixed window).
+    payoff_limit:
+        Maximum acceptable pay-off fraction, in executions of the windowed
+        workload (2.0 = the investment must amortise within two executions
+        of the window's queries).
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        algorithm: str = "hillclimb",
+        algorithm_options: Optional[Mapping[str, object]] = None,
+        window: int = 32,
+        stats: Optional[WorkloadStatistics] = None,
+        detector: Optional[CostRegretDetector] = None,
+        payoff_limit: float = 2.0,
+    ) -> None:
+        super().__init__()
+        if payoff_limit <= 0:
+            raise ValueError("payoff_limit must be positive")
+        self.cost_model = cost_model if cost_model is not None else HDDCostModel()
+        self.algorithm = algorithm
+        self.algorithm_options = dict(algorithm_options or {})
+        self.window = window
+        self.payoff_limit = payoff_limit
+        self._initial_stats = stats
+        self._initial_detector = detector
+        self._started = False
+        self.stats: Optional[WorkloadStatistics] = None
+        self.detector: Optional[CostRegretDetector] = None
+        self._evaluator: Optional[CostEvaluator] = None
+        self._deployed_masks: List[int] = []
+        # Diagnostics.
+        self.checks = 0
+        self.triggers = 0
+        self.rejected = 0
+
+    def start(self, schema: TableSchema) -> Partitioning:
+        # A user-supplied stats/detector object carries state that cannot be
+        # reset generically; it is valid for exactly one stream.
+        if self._started and (
+            self._initial_stats is not None or self._initial_detector is not None
+        ):
+            raise ValueError(
+                "this AdaptiveAdvisor was built around a user-supplied stats/"
+                "detector object and has already served a stream; construct a "
+                "fresh policy (or omit stats/detector to make it reusable)"
+            )
+        self._started = True
+        self.stats = (
+            self._initial_stats
+            if self._initial_stats is not None
+            else SlidingWindowStats(schema, self.window)
+        )
+        self.detector = (
+            self._initial_detector
+            if self._initial_detector is not None
+            else CostRegretDetector(
+                self.cost_model,
+                threshold=0.75,
+                min_arrivals=max(4, self.window // 4),
+                cooldown=max(2, self.window // 8),
+            )
+        )
+        self._evaluator = CostEvaluator(
+            Workload(schema, [], name="adaptive-window"), self.cost_model
+        )
+        self.optimization_time = 0.0
+        self.checks = 0
+        self.triggers = 0
+        self.rejected = 0
+        layout = row_partitioning(schema)
+        self._deployed_masks = layout.as_masks()
+        return layout
+
+    def on_query(self, arrival: int, query: ResolvedQuery) -> Optional[Reorganization]:
+        self.stats.observe(query)
+        if not self.detector.should_check(self.stats):
+            return None
+        self.checks += 1
+        window_workload = self.stats.as_workload()
+        evaluator = self._evaluator.rebind(window_workload)
+        decision = self.detector.check(self.stats, self._deployed_masks, evaluator)
+        if not decision.fired:
+            return None
+        self.triggers += 1
+
+        started = time.perf_counter()
+        algorithm = get_algorithm(self.algorithm, **self.algorithm_options)
+        result = algorithm.run(window_workload, self.cost_model)
+        self.optimization_time += time.perf_counter() - started
+
+        candidate = result.partitioning
+        candidate_masks = candidate.as_masks()
+        candidate_cost = evaluator.evaluate(candidate_masks)
+        creation_time = estimate_creation_time(
+            candidate, getattr(self.cost_model, "disk", DEFAULT_DISK)
+        )
+        payoff = payoff_fraction(
+            result.optimization_time,
+            creation_time,
+            decision.deployed_cost,
+            candidate_cost,
+        )
+        # The pay-off gate: a re-organisation is taken only when it improves
+        # the windowed cost and amortises within the budget.  Rejected
+        # triggers still start the detector's cooldown, so a stubbornly
+        # expensive-but-unimprovable window does not re-run the offline
+        # algorithm on every arrival.
+        if (
+            candidate_masks != self._deployed_masks
+            and candidate_cost < decision.deployed_cost
+            and 0.0 <= payoff <= self.payoff_limit
+        ):
+            self._deployed_masks = candidate_masks
+            self.detector.notify_reorganized(self.stats.arrivals)
+            return Reorganization(
+                candidate,
+                reason=(
+                    f"regret {decision.regret:.2f}, "
+                    f"payoff {payoff:.2f} window-executions"
+                ),
+            )
+        self.rejected += 1
+        self.detector.notify_reorganized(self.stats.arrivals)
+        return None

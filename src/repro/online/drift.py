@@ -1,0 +1,190 @@
+"""Drift detection: cost-regret triggers over windowed statistics.
+
+A workload has *drifted*, for partitioning purposes, exactly when the
+deployed layout has become expensive relative to what a re-partitioning
+could achieve on the recent window.  The detector therefore compares two
+numbers every time it checks:
+
+* the **deployed cost** — the windowed workload's cost under the currently
+  deployed layout, evaluated through the memoized
+  :class:`~repro.cost.evaluator.CostEvaluator` (the window is the aggregated
+  footprint summary, so this is O(distinct footprints), not O(window), and
+  repeated footprints are cache hits);
+* a **best-case bound** — a cheap lower bound on the cost any layout could
+  achieve on the same window.  For bandwidth-based models (the HDD model)
+  the bound is the windowed *needed bytes* divided by the read bandwidth:
+  every layout must physically read at least the bytes the queries
+  reference, so no re-partitioning can beat it.  The needed bytes are
+  maintained incrementally by the statistics — the bound costs O(1) per
+  check.  Models without a bandwidth notion fall back to the column-layout
+  cost on the window (the reference layout the paper's Figures normalise
+  against), which is equally cheap through the evaluator's caches.
+
+The *regret* is ``(deployed - bound) / bound``.  Because the bound ignores
+seeks and block rounding, even an optimal layout carries some constant
+regret; the trigger threshold is therefore a multiple of the bound (default:
+fire when the deployed layout costs more than twice the best case), and the
+controller's pay-off gate — not the detector — has the final word on whether
+re-partitioning is actually worth it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cost.base import CostModel
+from repro.cost.evaluator import CostEvaluator
+from repro.online.stats import WorkloadStatistics
+
+
+@dataclass(frozen=True)
+class DriftDecision:
+    """Outcome of one drift check."""
+
+    fired: bool
+    regret: float
+    deployed_cost: float
+    bound_cost: float
+    arrival: int
+    reason: str = ""
+
+
+def best_case_bound(
+    stats: WorkloadStatistics,
+    cost_model: CostModel,
+    evaluator: Optional[CostEvaluator] = None,
+) -> float:
+    """Cheap lower-ish bound on the best achievable windowed cost.
+
+    Bandwidth models get the true scan lower bound (needed bytes over read
+    bandwidth, O(1) from the incrementally maintained statistics); other
+    models fall back to the column layout's cost on the window, which
+    requires an ``evaluator`` bound to the window workload.
+    """
+    disk = getattr(cost_model, "disk", None)
+    if disk is not None and getattr(disk, "read_bandwidth", 0):
+        return stats.weighted_needed_bytes() / disk.read_bandwidth
+    if evaluator is None:
+        raise ValueError(
+            "cost model exposes no read bandwidth; best_case_bound needs an "
+            "evaluator bound to the window workload for the column fallback"
+        )
+    column_groups = [1 << index for index in range(stats.schema.attribute_count)]
+    return evaluator.evaluate(column_groups)
+
+
+class CostRegretDetector:
+    """Fires when the deployed layout's windowed regret exceeds a threshold.
+
+    Parameters
+    ----------
+    cost_model:
+        The model the regret is measured under.
+    threshold:
+        Fire when ``(deployed - bound) / bound > threshold``.  Because the
+        bound is optimistic (no seeks), thresholds below ~0.5 fire on noise;
+        the default 1.0 means "the deployed layout costs more than twice the
+        best case".
+    min_arrivals:
+        Warm-up: never fire before this many arrivals have been observed
+        (a near-empty window makes regret meaningless).
+    cooldown:
+        Number of arrivals after a firing during which the detector stays
+        silent, giving the re-organised layout time to prove itself on a
+        window it did not serve.
+    check_every:
+        Only evaluate the regret every this many arrivals; between checks
+        :meth:`check` returns an unfired decision without touching the cost
+        model at all.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        threshold: float = 1.0,
+        min_arrivals: int = 16,
+        cooldown: int = 0,
+        check_every: int = 1,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if min_arrivals < 1:
+            raise ValueError("min_arrivals must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        self.cost_model = cost_model
+        self.threshold = threshold
+        self.min_arrivals = min_arrivals
+        self.cooldown = cooldown
+        self.check_every = check_every
+        self._last_fired_at: Optional[int] = None
+        #: History of fired decisions (diagnostics).
+        self.firings: List[DriftDecision] = []
+
+    def should_check(self, stats: WorkloadStatistics) -> bool:
+        """True if a regret evaluation is due at the current arrival."""
+        if stats.arrivals < self.min_arrivals:
+            return False
+        if stats.arrivals % self.check_every != 0:
+            return False
+        if (
+            self._last_fired_at is not None
+            and stats.arrivals - self._last_fired_at <= self.cooldown
+        ):
+            return False
+        return True
+
+    def check(
+        self,
+        stats: WorkloadStatistics,
+        deployed_groups: Sequence[int],
+        evaluator: CostEvaluator,
+    ) -> DriftDecision:
+        """Evaluate the deployed layout's regret on the current window.
+
+        ``evaluator`` must be bound (or rebound, see
+        :meth:`CostEvaluator.rebind`) to ``stats.as_workload()`` so the
+        deployed cost is the windowed cost; ``deployed_groups`` is the
+        deployed layout as group bitmasks.
+        """
+        if not self.should_check(stats):
+            return DriftDecision(
+                fired=False,
+                regret=0.0,
+                deployed_cost=0.0,
+                bound_cost=0.0,
+                arrival=stats.arrivals,
+                reason="not-due",
+            )
+        deployed_cost = evaluator.evaluate(deployed_groups)
+        bound = best_case_bound(stats, self.cost_model, evaluator)
+        if bound <= 0.0:
+            return DriftDecision(
+                fired=False,
+                regret=0.0,
+                deployed_cost=deployed_cost,
+                bound_cost=bound,
+                arrival=stats.arrivals,
+                reason="empty-window",
+            )
+        regret = (deployed_cost - bound) / bound
+        fired = regret > self.threshold
+        decision = DriftDecision(
+            fired=fired,
+            regret=regret,
+            deployed_cost=deployed_cost,
+            bound_cost=bound,
+            arrival=stats.arrivals,
+            reason="regret-threshold" if fired else "below-threshold",
+        )
+        if fired:
+            self._last_fired_at = stats.arrivals
+            self.firings.append(decision)
+        return decision
+
+    def notify_reorganized(self, arrival: int) -> None:
+        """Start the cooldown window after the controller re-partitioned."""
+        self._last_fired_at = arrival

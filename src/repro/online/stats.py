@@ -1,0 +1,260 @@
+"""Windowed workload statistics, maintained incrementally per arriving query.
+
+The adaptive controller needs an up-to-date summary of the *recent* workload
+— query-footprint frequencies, the attribute affinity matrix, and the
+weighted bytes each query actually needs — without ever replaying the stream.
+Two summaries are provided:
+
+* :class:`SlidingWindowStats` — the last ``window_size`` arrivals, exact:
+  every arrival adds its contribution and evicts the oldest one's, so the
+  summary always equals the batch statistics of the same window.
+* :class:`DecayedStats` — an exponentially decayed summary of the whole
+  stream: every arrival first multiplies all accumulated mass by ``decay``.
+  Implemented with the classic running-scale trick, so an arrival costs
+  O(footprint²) like the sliding window — no rescan of accumulated state.
+
+Both maintain their structures in **O(query footprint)** work per arrival
+(footprint² for the affinity matrix), independent of how many queries the
+stream has delivered — the invariant the adaptive microbenchmark asserts.
+
+Arrivals are aggregated by footprint bitmask: two queries touching the same
+attribute set are one entry with summed weight.  :meth:`WorkloadStatistics.as_workload`
+materialises that aggregate into an ordinary
+:class:`~repro.workload.workload.Workload` (one weighted query per distinct
+footprint, deterministically ordered by mask), so any offline algorithm can
+run on the window as-is.  All derived statistics — affinity matrix, access
+weights, workload cost — are weight-linear, so the aggregate is equivalent
+to the raw window query-for-query.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.workload.query import ResolvedQuery
+from repro.workload.schema import TableSchema, indices_of_mask
+from repro.workload.workload import Workload
+
+#: When the running scale of :class:`DecayedStats` drops below this, stored
+#: magnitudes are folded back into the entries to keep floats well-scaled.
+_RENORMALIZE_BELOW = 1e-12
+
+
+class WorkloadStatistics(abc.ABC):
+    """Common interface of the incrementally maintained workload summaries."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        #: Total number of queries ever observed.
+        self.arrivals = 0
+        # Aggregated per-footprint weight, keyed by attribute bitmask.
+        self._footprints: Dict[int, float] = {}
+        # Affinity matrix over attribute indices (Navathe's measure).
+        self._affinity = np.zeros(
+            (schema.attribute_count, schema.attribute_count), dtype=float
+        )
+        # Σ weight · (bytes the query's referenced attributes occupy), the
+        # ingredient of the drift detector's best-case scan bound.
+        self._needed_bytes = 0.0
+        # Row size of each footprint seen so far (schema lookups are cached
+        # because footprints repeat massively in a stream).
+        self._row_sizes: Dict[int, int] = {}
+
+    # -- abstract ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def observe(self, query: ResolvedQuery) -> None:
+        """Fold one arriving query into the summary."""
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _footprint_row_size(self, mask: int, query: ResolvedQuery) -> int:
+        row_size = self._row_sizes.get(mask)
+        if row_size is None:
+            row_size = self.schema.subset_row_size(query.attribute_indices)
+            self._row_sizes[mask] = row_size
+        return row_size
+
+    # -- derived views -------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of arrivals currently contributing to the summary."""
+        return self.arrivals
+
+    @property
+    def distinct_footprints(self) -> int:
+        """Number of distinct attribute footprints in the summary."""
+        return len(self._footprints)
+
+    @abc.abstractmethod
+    def total_weight(self) -> float:
+        """Summed (possibly decayed) weight of the summarised queries."""
+
+    @abc.abstractmethod
+    def footprint_weights(self) -> Dict[int, float]:
+        """Per-footprint accumulated weight, keyed by attribute bitmask."""
+
+    @abc.abstractmethod
+    def affinity(self) -> np.ndarray:
+        """Attribute affinity matrix of the summarised window (a copy)."""
+
+    @abc.abstractmethod
+    def weighted_needed_bytes(self) -> float:
+        """Σ weight · needed bytes over the window (drift bound ingredient)."""
+
+    def attribute_access_weights(self) -> np.ndarray:
+        """Per-attribute total access weight (diagonal of the affinity matrix)."""
+        return np.diag(self.affinity()).copy()
+
+    def as_workload(self, name: Optional[str] = None) -> Workload:
+        """The summary as an offline workload: one weighted query per footprint.
+
+        Queries are ordered by ascending footprint bitmask and named after
+        it (``g<mask:x>``), so the materialisation is deterministic — two
+        equal summaries produce byte-identical workloads.
+        """
+        queries: List[ResolvedQuery] = []
+        for mask, weight in sorted(self.footprint_weights().items()):
+            if weight <= 0.0:
+                continue
+            queries.append(
+                ResolvedQuery(
+                    name=f"g{mask:x}",
+                    attribute_indices=indices_of_mask(mask),
+                    weight=weight,
+                )
+            )
+        return Workload(self.schema, queries, name=name or "window")
+
+
+class SlidingWindowStats(WorkloadStatistics):
+    """Exact statistics over the last ``window_size`` arrivals.
+
+    Each arrival adds its contribution to the aggregates and, once the
+    window is full, subtracts the evicted arrival's — O(footprint²) per
+    arrival regardless of stream length.  Per-footprint occurrence counts
+    are tracked alongside the float weights so an entry is dropped exactly
+    when its last occurrence leaves the window (no reliance on float
+    subtraction reaching exactly zero).
+    """
+
+    def __init__(self, schema: TableSchema, window_size: int) -> None:
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        super().__init__(schema)
+        self.window_size = window_size
+        self._window: Deque[Tuple[int, float]] = deque()
+        self._counts: Dict[int, int] = {}
+        self._total_weight = 0.0
+
+    def observe(self, query: ResolvedQuery) -> None:
+        self.arrivals += 1
+        mask = query.index_mask
+        weight = query.weight
+        row_size = self._footprint_row_size(mask, query)
+        self._window.append((mask, weight))
+        self._footprints[mask] = self._footprints.get(mask, 0.0) + weight
+        self._counts[mask] = self._counts.get(mask, 0) + 1
+        self._total_weight += weight
+        indices = query.attribute_indices
+        for i in indices:
+            for j in indices:
+                self._affinity[i, j] += weight
+        self._needed_bytes += weight * row_size * self.schema.row_count
+        if len(self._window) > self.window_size:
+            self._evict()
+
+    def _evict(self) -> None:
+        mask, weight = self._window.popleft()
+        count = self._counts[mask] - 1
+        if count == 0:
+            del self._counts[mask]
+            del self._footprints[mask]
+        else:
+            self._counts[mask] = count
+            self._footprints[mask] -= weight
+        self._total_weight -= weight
+        indices = indices_of_mask(mask)
+        for i in indices:
+            for j in indices:
+                self._affinity[i, j] -= weight
+        self._needed_bytes -= weight * self._row_sizes[mask] * self.schema.row_count
+
+    @property
+    def size(self) -> int:
+        return len(self._window)
+
+    def total_weight(self) -> float:
+        return self._total_weight
+
+    def footprint_weights(self) -> Dict[int, float]:
+        return dict(self._footprints)
+
+    def affinity(self) -> np.ndarray:
+        return self._affinity.copy()
+
+    def weighted_needed_bytes(self) -> float:
+        return self._needed_bytes
+
+
+class DecayedStats(WorkloadStatistics):
+    """Exponentially decayed statistics over the whole stream.
+
+    Every arrival multiplies all accumulated mass by ``decay`` before adding
+    its own contribution, so a query observed ``k`` arrivals ago contributes
+    ``decay**k`` of its weight.  Rather than rescaling every entry per
+    arrival, a running scale factor is maintained and entries are stored
+    divided by it; the stored magnitudes are folded back (renormalised) only
+    when the scale underflows, keeping the amortised per-arrival cost at
+    O(footprint²).
+    """
+
+    def __init__(self, schema: TableSchema, decay: float = 0.98) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        super().__init__(schema)
+        self.decay = decay
+        self._scale = 1.0
+        self._total_weight = 0.0
+
+    def observe(self, query: ResolvedQuery) -> None:
+        self.arrivals += 1
+        self._scale *= self.decay
+        if self._scale < _RENORMALIZE_BELOW:
+            self._renormalize()
+        mask = query.index_mask
+        stored = query.weight / self._scale
+        row_size = self._footprint_row_size(mask, query)
+        self._footprints[mask] = self._footprints.get(mask, 0.0) + stored
+        self._total_weight += stored
+        indices = query.attribute_indices
+        for i in indices:
+            for j in indices:
+                self._affinity[i, j] += stored
+        self._needed_bytes += stored * row_size * self.schema.row_count
+
+    def _renormalize(self) -> None:
+        """Fold the running scale back into the stored magnitudes."""
+        for mask in self._footprints:
+            self._footprints[mask] *= self._scale
+        self._affinity *= self._scale
+        self._needed_bytes *= self._scale
+        self._total_weight *= self._scale
+        self._scale = 1.0
+
+    def total_weight(self) -> float:
+        return self._total_weight * self._scale
+
+    def footprint_weights(self) -> Dict[int, float]:
+        return {mask: weight * self._scale for mask, weight in self._footprints.items()}
+
+    def affinity(self) -> np.ndarray:
+        return self._affinity * self._scale
+
+    def weighted_needed_bytes(self) -> float:
+        return self._needed_bytes * self._scale

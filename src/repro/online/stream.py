@@ -1,0 +1,346 @@
+"""Query streams: ordered, seed-deterministic sources of arriving queries.
+
+The paper's unified setting is strictly offline — every algorithm sees the
+whole workload up front.  A :class:`QueryStream` models the dynamic setting
+instead: queries *arrive* one at a time, and nothing downstream may peek
+ahead.  A stream is a finite, re-iterable sequence of
+:class:`~repro.workload.query.ResolvedQuery` objects over one schema, plus
+the phase boundaries the generator knows about (used by the experiments to
+mark where the workload actually shifted).
+
+Sources
+-------
+
+* :func:`replay_stream` — replay any offline :class:`~repro.workload.workload.Workload`
+  in workload order (the unified-setting replay O2P uses).
+* :func:`phase_shift_stream` — the workload alternates between *phases*, each
+  drawing uniformly from its own set of query templates; at a phase boundary
+  the template set changes abruptly.
+* :func:`rotating_hot_set_stream` — each phase has a *hot* attribute set that
+  rotates through the schema between phases; queries reference mostly-hot
+  attributes, so the profitable column grouping drifts phase by phase.
+* :func:`zipf_template_stream` — a fixed pool of query templates drawn with
+  Zipf-skewed frequencies; the rank→template assignment rotates periodically,
+  so the *frequency mass* (not the template shapes) drifts.
+
+Every generator takes an integer seed or :class:`numpy.random.Generator` and
+materialises its queries eagerly, so iterating a stream twice yields the
+identical sequence and two streams built with the same seed are equal
+query-for-query.  Arrival names are made unique (``<template>@<arrival>``)
+so any slice of a stream can be materialised into a ``Workload``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.workload.query import Query, ResolvedQuery
+from repro.workload.schema import TableSchema
+from repro.workload.synthetic import RandomState, _rng
+from repro.workload.workload import Workload
+
+
+class StreamError(ValueError):
+    """Raised when a stream definition is inconsistent."""
+
+
+class QueryStream:
+    """A finite, re-iterable sequence of arriving queries over one schema.
+
+    Parameters
+    ----------
+    schema:
+        The table the queries run against.
+    queries:
+        The arrivals in order; plain :class:`Query` objects are resolved
+        against ``schema``.
+    name:
+        Stream identifier used in reports.
+    phase_boundaries:
+        Arrival indices (0-based) at which a new phase *starts*, excluding
+        the implicit phase start at arrival 0.  Generators that know their
+        drift points record them here so experiments can annotate results.
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        queries: Sequence[Union[Query, ResolvedQuery]],
+        name: str = "stream",
+        phase_boundaries: Sequence[int] = (),
+    ) -> None:
+        resolved: List[ResolvedQuery] = []
+        for query in queries:
+            if isinstance(query, ResolvedQuery):
+                resolved.append(query)
+            elif isinstance(query, Query):
+                resolved.append(query.resolve(schema))
+            else:
+                raise StreamError(
+                    f"expected Query or ResolvedQuery, got {type(query).__name__}"
+                )
+        boundaries = tuple(sorted(set(int(b) for b in phase_boundaries)))
+        if boundaries and (boundaries[0] <= 0 or boundaries[-1] >= len(resolved)):
+            raise StreamError(
+                "phase boundaries must lie strictly inside the stream "
+                f"(got {boundaries} for {len(resolved)} arrivals)"
+            )
+        self.schema = schema
+        self.queries: Tuple[ResolvedQuery, ...] = tuple(resolved)
+        self.name = name
+        self.phase_boundaries: Tuple[int, ...] = boundaries
+
+    # -- sequence protocol ---------------------------------------------------
+
+    def __iter__(self) -> Iterator[ResolvedQuery]:
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    @property
+    def arrival_count(self) -> int:
+        """Number of queries the stream delivers."""
+        return len(self.queries)
+
+    @property
+    def phase_count(self) -> int:
+        """Number of phases (boundaries + 1)."""
+        return len(self.phase_boundaries) + 1
+
+    def phase_of(self, arrival: int) -> int:
+        """0-based phase index of the given arrival index."""
+        if not 0 <= arrival < len(self.queries):
+            raise StreamError(f"arrival {arrival} outside stream of {len(self)}")
+        phase = 0
+        for boundary in self.phase_boundaries:
+            if arrival >= boundary:
+                phase += 1
+        return phase
+
+    # -- materialisation -----------------------------------------------------
+
+    def as_workload(self, name: Optional[str] = None) -> Workload:
+        """The whole stream as an offline workload (the hindsight view)."""
+        return Workload(
+            self.schema, list(self.queries), name=name or f"{self.name}-hindsight"
+        )
+
+    def prefix_workload(self, k: int, name: Optional[str] = None) -> Workload:
+        """The first ``k`` arrivals as an offline workload."""
+        if not 1 <= k <= len(self.queries):
+            raise StreamError(f"prefix length {k} outside stream of {len(self)}")
+        return Workload(
+            self.schema, list(self.queries[:k]), name=name or f"{self.name}[:{k}]"
+        )
+
+    def describe(self) -> str:
+        """One-line summary of the stream."""
+        return (
+            f"QueryStream {self.name!r} on {self.schema.name}: "
+            f"{self.arrival_count} arrivals, {self.phase_count} phase(s)"
+        )
+
+
+# -- sources ---------------------------------------------------------------------
+
+
+def replay_stream(workload: Workload, name: Optional[str] = None) -> QueryStream:
+    """Replay an offline workload query by query, in workload order."""
+    return QueryStream(
+        workload.schema,
+        list(workload.queries),
+        name=name or f"{workload.name}-replay",
+    )
+
+
+def phase_shift_stream(
+    schema: TableSchema,
+    phases: Sequence[Sequence[Query]],
+    queries_per_phase: int,
+    noise: float = 0.0,
+    random_state: RandomState = 0,
+    name: str = "phase-shift",
+) -> QueryStream:
+    """Phases of uniform draws from per-phase template sets.
+
+    Each phase emits ``queries_per_phase`` arrivals, every arrival sampling
+    one template uniformly from that phase's set (template weights and
+    selectivities are preserved on the emitted copy).  The drift is abrupt:
+    at a boundary the template set is swapped wholesale.
+
+    ``noise`` is the probability that an arrival is a one-off query with a
+    uniformly random attribute footprint instead of a template draw.  Noise
+    is *not* drift — the template mix is unchanged — and it is what
+    separates a drift-gated controller from an eager one: a policy that
+    re-optimises on every arrival chases each outlier through its window,
+    paying a re-organisation whenever one enters or leaves.
+    """
+    if queries_per_phase < 1:
+        raise StreamError("queries_per_phase must be >= 1")
+    if not phases or any(len(templates) == 0 for templates in phases):
+        raise StreamError("each phase needs at least one query template")
+    if not 0.0 <= noise <= 1.0:
+        raise StreamError("noise must be in [0, 1]")
+    rng = _rng(random_state)
+    n = schema.attribute_count
+    names = schema.attribute_names
+    arrivals: List[Query] = []
+    boundaries: List[int] = []
+    for phase_index, templates in enumerate(phases):
+        if phase_index > 0:
+            boundaries.append(len(arrivals))
+        for _ in range(queries_per_phase):
+            if noise and rng.random() < noise:
+                size = int(rng.integers(1, n + 1))
+                chosen = rng.choice(n, size=size, replace=False)
+                arrivals.append(
+                    Query(
+                        name=f"noise@{len(arrivals)}",
+                        attributes=[names[i] for i in chosen],
+                    )
+                )
+                continue
+            template = templates[int(rng.integers(len(templates)))]
+            arrivals.append(
+                Query(
+                    name=f"{template.name}@{len(arrivals)}",
+                    attributes=template.attributes,
+                    weight=template.weight,
+                    selectivity=template.selectivity,
+                )
+            )
+    return QueryStream(schema, arrivals, name=name, phase_boundaries=boundaries)
+
+
+def rotating_hot_set_stream(
+    schema: TableSchema,
+    num_phases: int,
+    queries_per_phase: int,
+    hot_size: Optional[int] = None,
+    rotation: Optional[int] = None,
+    min_attributes: int = 1,
+    max_attributes: Optional[int] = None,
+    hot_probability: float = 0.95,
+    random_state: RandomState = 0,
+    name: str = "rotating-hot",
+) -> QueryStream:
+    """Phases whose *hot* attribute set rotates through the schema.
+
+    A random attribute order is fixed once; phase ``p`` takes a window of
+    ``hot_size`` consecutive attributes starting at offset ``p * rotation``
+    (wrapping around).  Each arriving query draws its footprint size
+    uniformly from ``[min_attributes, max_attributes]`` and fills it by
+    sampling without replacement, with ``hot_probability`` of the mass on the
+    hot set.  A rotation smaller than ``hot_size`` makes consecutive phases
+    overlap, so the same attribute's co-access partners change across phases
+    — the situation in which a single compromise layout must read
+    unnecessary data in every phase.
+    """
+    if num_phases < 1 or queries_per_phase < 1:
+        raise StreamError("num_phases and queries_per_phase must be >= 1")
+    if not 0.0 < hot_probability <= 1.0:
+        raise StreamError("hot_probability must be in (0, 1]")
+    n = schema.attribute_count
+    hot_size = max(2, n // 2) if hot_size is None else hot_size
+    if not 1 <= hot_size <= n:
+        raise StreamError("hot_size must be within [1, #attributes]")
+    rotation = max(1, hot_size // 2) if rotation is None else rotation
+    if rotation < 1:
+        raise StreamError("rotation must be >= 1")
+    max_attributes = hot_size if max_attributes is None else min(max_attributes, n)
+    if not 1 <= min_attributes <= max_attributes:
+        raise StreamError("need 1 <= min_attributes <= max_attributes <= #attributes")
+    rng = _rng(random_state)
+    names = schema.attribute_names
+    order = list(rng.permutation(n))
+    arrivals: List[Query] = []
+    boundaries: List[int] = []
+    for phase in range(num_phases):
+        if phase > 0:
+            boundaries.append(len(arrivals))
+        offset = (phase * rotation) % n
+        hot = [order[(offset + i) % n] for i in range(hot_size)]
+        cold = [a for a in order if a not in set(hot)]
+        # Per-attribute selection probabilities: hot attributes share
+        # ``hot_probability`` of the mass, cold attributes the remainder.
+        probabilities = np.zeros(n)
+        probabilities[hot] = hot_probability / len(hot)
+        if cold:
+            probabilities[cold] = (1.0 - hot_probability) / len(cold)
+        probabilities /= probabilities.sum()
+        # Sampling without replacement can only fill a footprint from the
+        # attributes with non-zero probability; with hot_probability == 1.0
+        # (or an empty cold set) that is just the hot set.
+        drawable = int(np.count_nonzero(probabilities))
+        for _ in range(queries_per_phase):
+            size = min(
+                int(rng.integers(min_attributes, max_attributes + 1)), drawable
+            )
+            chosen = rng.choice(n, size=size, replace=False, p=probabilities)
+            arrivals.append(
+                Query(
+                    name=f"p{phase}@{len(arrivals)}",
+                    attributes=[names[i] for i in chosen],
+                )
+            )
+    return QueryStream(schema, arrivals, name=name, phase_boundaries=boundaries)
+
+
+def zipf_template_stream(
+    schema: TableSchema,
+    num_templates: int,
+    length: int,
+    skew: float = 1.2,
+    rotate_every: Optional[int] = None,
+    min_attributes: int = 1,
+    max_attributes: Optional[int] = None,
+    random_state: RandomState = 0,
+    name: str = "zipf",
+) -> QueryStream:
+    """Zipf-skewed draws from a fixed template pool, with rotating ranks.
+
+    ``num_templates`` random-footprint templates are generated once; arrival
+    frequencies follow a Zipf law with exponent ``skew`` (rank ``r`` has
+    probability proportional to ``1 / r**skew``).  Every ``rotate_every``
+    arrivals the rank→template assignment rotates by one, shifting the
+    frequency mass onto different templates — the template *shapes* never
+    change, only how often each one runs.  ``rotate_every=None`` disables
+    the drift.
+    """
+    if num_templates < 1 or length < 1:
+        raise StreamError("num_templates and length must be >= 1")
+    if skew <= 0:
+        raise StreamError("skew must be positive")
+    if rotate_every is not None and rotate_every < 1:
+        raise StreamError("rotate_every must be >= 1 (or None)")
+    rng = _rng(random_state)
+    n = schema.attribute_count
+    max_attributes = n if max_attributes is None else min(max_attributes, n)
+    if not 1 <= min_attributes <= max_attributes:
+        raise StreamError("need 1 <= min_attributes <= max_attributes <= #attributes")
+    names = schema.attribute_names
+    templates: List[Query] = []
+    for t in range(num_templates):
+        size = int(rng.integers(min_attributes, max_attributes + 1))
+        chosen = rng.choice(n, size=size, replace=False)
+        templates.append(Query(f"T{t}", [names[i] for i in chosen]))
+    weights = 1.0 / np.arange(1, num_templates + 1) ** skew
+    weights /= weights.sum()
+    arrivals: List[Query] = []
+    boundaries: List[int] = []
+    for arrival in range(length):
+        if rotate_every is not None and arrival > 0 and arrival % rotate_every == 0:
+            boundaries.append(arrival)
+        shift = 0 if rotate_every is None else arrival // rotate_every
+        rank = int(rng.choice(num_templates, p=weights))
+        template = templates[(rank + shift) % num_templates]
+        arrivals.append(
+            Query(
+                name=f"{template.name}@{arrival}",
+                attributes=template.attributes,
+            )
+        )
+    return QueryStream(schema, arrivals, name=name, phase_boundaries=boundaries)

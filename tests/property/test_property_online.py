@@ -1,0 +1,114 @@
+"""Property-based tests for the online subsystem's incremental invariants.
+
+Two families of invariants keep the streaming path honest:
+
+* O2P's incrementally maintained affinity matrix must equal the
+  from-scratch :meth:`~repro.workload.workload.Workload.affinity_matrix`
+  after any replay, and the stepper must commit exactly the splits the
+  offline replay (``O2PAlgorithm.compute``) commits.
+* The sliding-window statistics must equal batch statistics computed on the
+  same window, and their aggregated-by-footprint workload must cost exactly
+  like the raw window under the cost kernel (weight-linearity of the cost).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.o2p import O2PAlgorithm, O2PStepper
+from repro.cost.evaluator import CostEvaluator
+from repro.cost.hdd import HDDCostModel
+from repro.online.stats import SlidingWindowStats
+from repro.workload.query import Query
+from repro.workload.schema import Column, TableSchema
+from repro.workload.workload import Workload
+
+
+@st.composite
+def workloads(draw, max_attributes=8, max_queries=10):
+    n = draw(st.integers(min_value=2, max_value=max_attributes))
+    widths = draw(
+        st.lists(st.integers(min_value=1, max_value=120), min_size=n, max_size=n)
+    )
+    rows = draw(st.integers(min_value=1_000, max_value=500_000))
+    schema = TableSchema(
+        "t", [Column(f"a{i}", w) for i, w in enumerate(widths)], rows
+    )
+    query_count = draw(st.integers(min_value=1, max_value=max_queries))
+    queries = []
+    for q in range(query_count):
+        footprint = draw(
+            st.sets(st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=n)
+        )
+        weight = draw(st.floats(min_value=0.25, max_value=4.0))
+        queries.append(
+            Query(
+                f"Q{q}",
+                [schema.attribute_names[i] for i in footprint],
+                weight=weight,
+            )
+        )
+    return Workload(schema, queries)
+
+
+class TestO2PIncrementalInvariants:
+    @given(workloads())
+    @settings(max_examples=50, deadline=None)
+    def test_incremental_affinity_matches_batch_matrix(self, workload):
+        stepper = O2PStepper(workload.schema)
+        for query in workload:
+            stepper.step(query)
+        assert np.allclose(stepper.affinity, workload.affinity_matrix())
+
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_stepper_replay_equals_offline_compute(self, workload):
+        model = HDDCostModel()
+        algorithm = O2PAlgorithm()
+        offline_layout = algorithm.compute(workload, model)
+        stepper = O2PStepper(workload.schema)
+        for query in workload:
+            stepper.step(query)
+        assert stepper.layout() == offline_layout
+        assert stepper.metadata() == algorithm.last_run_metadata()
+
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_layout_masks_match_layout(self, workload):
+        stepper = O2PStepper(workload.schema)
+        for query in workload:
+            stepper.step(query)
+        assert sorted(stepper.layout_masks()) == sorted(stepper.layout().as_masks())
+
+
+class TestWindowedStatsInvariants:
+    @given(workloads(max_queries=12), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_sliding_window_equals_batch_window(self, workload, window):
+        stats = SlidingWindowStats(workload.schema, window)
+        for query in workload:
+            stats.observe(query)
+        tail = list(workload.queries)[-window:]
+        batch = Workload(workload.schema, tail, name="tail")
+        assert np.allclose(stats.affinity(), batch.affinity_matrix())
+        assert np.isclose(stats.total_weight(), batch.total_weight)
+        assert stats.size == len(tail)
+
+    @given(workloads(max_queries=12), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_aggregated_window_costs_like_raw_window(self, workload, window):
+        """The footprint-aggregated window workload must cost exactly like
+        the raw window: per-query cost depends only on the footprint, and
+        the workload cost is weight-linear."""
+        model = HDDCostModel()
+        stats = SlidingWindowStats(workload.schema, window)
+        for query in workload:
+            stats.observe(query)
+        tail = list(workload.queries)[-window:]
+        raw = Workload(workload.schema, tail, name="tail")
+        aggregated = stats.as_workload()
+        evaluator = CostEvaluator(aggregated, model)
+        layout = [frozenset({i}) for i in range(workload.attribute_count)]
+        raw_cost = sum(
+            q.weight * evaluator.query_cost(q.index_mask, layout) for q in raw
+        )
+        assert np.isclose(evaluator.evaluate(layout), raw_cost)

@@ -89,3 +89,59 @@ class TestCostEvaluator:
         evaluator.evaluate(groups)
         evaluator.evaluate_merge(groups, 0, 1)
         assert evaluator.evaluations == 2
+
+
+class TestSingleQueryCosting:
+    def test_query_cost_matches_model(self, workload):
+        model = HDDCostModel()
+        evaluator = CostEvaluator(workload, model)
+        groups = [frozenset({0, 1}), frozenset({2}), frozenset({3})]
+        partitioning = Partitioning(workload.schema, groups)
+        for query in workload:
+            assert evaluator.query_cost(query.index_mask, groups) == model.query_cost(
+                query, partitioning
+            )
+
+    def test_query_cost_naive_path_matches(self, workload):
+        model = HDDCostModel()
+        fast = CostEvaluator(workload, model)
+        naive = CostEvaluator(workload, model, naive=True)
+        groups = [frozenset({0}), frozenset({1, 2, 3})]
+        for query in workload:
+            assert naive.query_cost(query.index_mask, groups) == fast.query_cost(
+                query.index_mask, groups
+            )
+
+    def test_workload_cost_is_weighted_query_cost_sum(self, workload):
+        model = HDDCostModel()
+        evaluator = CostEvaluator(workload, model)
+        groups = [frozenset({0, 1, 2}), frozenset({3})]
+        total = sum(
+            query.weight * evaluator.query_cost(query.index_mask, groups)
+            for query in workload
+        )
+        assert evaluator.evaluate(groups) == pytest.approx(total)
+
+
+class TestRebind:
+    def test_rebind_shares_caches_and_matches(self, workload):
+        model = HDDCostModel()
+        evaluator = CostEvaluator(workload, model)
+        groups = [frozenset({0, 1}), frozenset({2}), frozenset({3})]
+        evaluator.evaluate(groups)
+        window = Workload(
+            workload.schema,
+            [Query("W1", ["a", "b"], weight=3.0), Query("W2", ["d"])],
+            name="window",
+        )
+        rebound = evaluator.rebind(window)
+        assert rebound._signature_costs is evaluator._signature_costs
+        assert rebound._group_profiles is evaluator._group_profiles
+        expected = model.workload_cost(window, Partitioning(workload.schema, groups))
+        assert rebound.evaluate(groups) == expected
+
+    def test_rebind_rejects_different_schema(self, workload):
+        other = TableSchema("other", [Column("x", 4), Column("y", 8)], 10)
+        evaluator = CostEvaluator(workload, HDDCostModel())
+        with pytest.raises(ValueError):
+            evaluator.rebind(Workload(other, [Query("Q", ["x"])]))

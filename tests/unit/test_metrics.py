@@ -119,6 +119,23 @@ class TestPayoffMetric:
     def test_infinite_when_no_improvement(self):
         assert math.isinf(payoff_fraction(1.0, 1.0, 50.0, 50.0))
 
+    def test_zero_invested_zero_improvement_is_paid_off(self):
+        """Investing nothing and gaining nothing is immediately paid off —
+        not an infinite pay-off (the adaptive controller's keep-the-layout
+        decision relies on this edge)."""
+        assert payoff_fraction(0.0, 0.0, 50.0, 50.0) == 0.0
+
+    def test_zero_invested_with_improvement_is_paid_off(self):
+        assert payoff_fraction(0.0, 0.0, 50.0, 40.0) == 0.0
+
+    def test_negative_improvement_with_zero_invested_is_zero(self):
+        """A worse layout obtained for free: 0 / negative is still 0.0 —
+        the sign convention only matters once time was actually invested."""
+        assert payoff_fraction(0.0, 0.0, 50.0, 60.0) == 0.0
+
+    def test_negative_improvement_with_investment_is_negative(self):
+        assert payoff_fraction(2.0, 3.0, 50.0, 60.0) == pytest.approx(-0.5)
+
     def test_rejects_negative_times(self):
         with pytest.raises(ValueError):
             payoff_fraction(-1.0, 0.0, 10.0, 5.0)

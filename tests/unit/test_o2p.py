@@ -3,7 +3,7 @@
 import pytest
 
 from repro.algorithms.navathe import NavatheAlgorithm
-from repro.algorithms.o2p import O2PAlgorithm
+from repro.algorithms.o2p import O2PAlgorithm, O2PStepper
 from repro.core.partitioning import Partitioning
 from repro.workload.query import Query
 from repro.workload.schema import Column, TableSchema
@@ -81,3 +81,29 @@ class TestO2P:
             0 < point < customer_workload.attribute_count
             for point in metadata["split_points"]
         )
+
+
+class TestO2PStepper:
+    def test_stepper_matches_offline_replay(self, lineitem_workload, hdd_model):
+        """Feeding the stepper query by query is the same computation the
+        offline ``compute`` replay performs — identical layout and metadata."""
+        algorithm = O2PAlgorithm()
+        offline = algorithm.compute(lineitem_workload, hdd_model)
+        stepper = O2PStepper(lineitem_workload.schema)
+        split_flags = [stepper.step(query) for query in lineitem_workload]
+        assert stepper.layout() == offline
+        assert sum(split_flags) == algorithm.last_run_metadata()["splits"]
+
+    def test_layout_available_mid_stream(self, lineitem_workload, hdd_model):
+        stepper = O2PStepper(lineitem_workload.schema)
+        for query in lineitem_workload:
+            stepper.step(query)
+            # Every intermediate layout is complete and disjoint, and the
+            # bitmask view matches the materialised partitioning.
+            layout = stepper.layout()
+            Partitioning(layout.schema, layout.partitions)
+            assert sorted(stepper.layout_masks()) == sorted(layout.as_masks())
+
+    def test_rejects_bad_parameters(self, lineitem_workload):
+        with pytest.raises(ValueError):
+            O2PStepper(lineitem_workload.schema, max_splits_per_step=0)

@@ -1,0 +1,126 @@
+"""Unit tests for the cost-regret drift detector (repro.online.drift)."""
+
+import pytest
+
+from repro.core.partitioning import column_partitioning, row_partitioning
+from repro.cost.evaluator import CostEvaluator
+from repro.cost.hdd import HDDCostModel
+from repro.cost.mainmemory import MainMemoryCostModel
+from repro.online.drift import CostRegretDetector, best_case_bound
+from repro.online.stats import SlidingWindowStats
+from repro.workload.query import Query
+from repro.workload.synthetic import synthetic_table
+
+
+@pytest.fixture
+def schema():
+    return synthetic_table(8, row_count=200_000, random_state=0)
+
+
+def narrow_stats(schema, count=20, window=16):
+    """A window of narrow queries (single attribute) — terrible for row."""
+    stats = SlidingWindowStats(schema, window)
+    query = Query("n", [schema.attribute_names[0]]).resolve(schema)
+    for _ in range(count):
+        stats.observe(query)
+    return stats
+
+
+def window_evaluator(stats, model):
+    return CostEvaluator(stats.as_workload(), model)
+
+
+class TestBestCaseBound:
+    def test_bandwidth_bound_below_any_layout(self, schema):
+        model = HDDCostModel()
+        stats = narrow_stats(schema)
+        evaluator = window_evaluator(stats, model)
+        bound = best_case_bound(stats, model, evaluator)
+        for layout in (row_partitioning(schema), column_partitioning(schema)):
+            assert bound <= evaluator.evaluate(layout.as_masks())
+
+    def test_column_fallback_without_bandwidth(self, schema):
+        model = MainMemoryCostModel()
+        stats = narrow_stats(schema)
+        evaluator = window_evaluator(stats, model)
+        column_masks = column_partitioning(schema).as_masks()
+        assert best_case_bound(stats, model, evaluator) == pytest.approx(
+            evaluator.evaluate(column_masks)
+        )
+
+    def test_fallback_requires_evaluator(self, schema):
+        model = MainMemoryCostModel()
+        with pytest.raises(ValueError):
+            best_case_bound(narrow_stats(schema), model, None)
+
+
+class TestCostRegretDetector:
+    def test_no_fire_during_warmup(self, schema):
+        model = HDDCostModel()
+        detector = CostRegretDetector(model, threshold=0.1, min_arrivals=50)
+        stats = narrow_stats(schema, count=20)
+        assert not detector.should_check(stats)
+        decision = detector.check(
+            stats, row_partitioning(schema).as_masks(), window_evaluator(stats, model)
+        )
+        assert not decision.fired and decision.reason == "not-due"
+
+    def test_fires_on_bad_deployed_layout(self, schema):
+        model = HDDCostModel()
+        detector = CostRegretDetector(model, threshold=1.0, min_arrivals=4)
+        stats = narrow_stats(schema)
+        # Row layout reads the full table for single-attribute queries.
+        decision = detector.check(
+            stats, row_partitioning(schema).as_masks(), window_evaluator(stats, model)
+        )
+        assert decision.fired
+        assert decision.regret > 1.0
+        assert decision.deployed_cost > decision.bound_cost > 0.0
+        assert detector.firings == [decision]
+
+    def test_quiet_on_good_deployed_layout(self, schema):
+        model = HDDCostModel()
+        detector = CostRegretDetector(model, threshold=1.0, min_arrivals=4)
+        stats = narrow_stats(schema)
+        # Column layout reads exactly the needed attribute; regret is only
+        # seek/rounding overhead, well under the threshold.
+        decision = detector.check(
+            stats,
+            column_partitioning(schema).as_masks(),
+            window_evaluator(stats, model),
+        )
+        assert not decision.fired
+
+    def test_cooldown_silences_after_firing(self, schema):
+        model = HDDCostModel()
+        detector = CostRegretDetector(model, threshold=0.5, min_arrivals=4, cooldown=10)
+        stats = narrow_stats(schema, count=8)
+        masks = row_partitioning(schema).as_masks()
+        assert detector.check(stats, masks, window_evaluator(stats, model)).fired
+        # Within the cooldown the detector does not even check.
+        stats.observe(Query("n", [schema.attribute_names[0]]).resolve(schema))
+        assert not detector.should_check(stats)
+        # After the cooldown has passed it checks (and fires) again.
+        for _ in range(10):
+            stats.observe(Query("n", [schema.attribute_names[0]]).resolve(schema))
+        assert detector.check(stats, masks, window_evaluator(stats, model)).fired
+
+    def test_check_every_skips_off_cycle_arrivals(self, schema):
+        model = HDDCostModel()
+        detector = CostRegretDetector(model, threshold=0.5, min_arrivals=2, check_every=4)
+        stats = narrow_stats(schema, count=5)  # 5 % 4 != 0
+        assert not detector.should_check(stats)
+        for _ in range(3):
+            stats.observe(Query("n", [schema.attribute_names[0]]).resolve(schema))
+        assert detector.should_check(stats)  # arrival 8
+
+    def test_rejects_bad_parameters(self, schema):
+        model = HDDCostModel()
+        with pytest.raises(ValueError):
+            CostRegretDetector(model, threshold=0.0)
+        with pytest.raises(ValueError):
+            CostRegretDetector(model, min_arrivals=0)
+        with pytest.raises(ValueError):
+            CostRegretDetector(model, cooldown=-1)
+        with pytest.raises(ValueError):
+            CostRegretDetector(model, check_every=0)

@@ -1,0 +1,140 @@
+"""Unit tests for the windowed workload statistics (repro.online.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.online.stats import DecayedStats, SlidingWindowStats
+from repro.online.stream import rotating_hot_set_stream
+from repro.workload.query import Query
+from repro.workload.synthetic import synthetic_table
+from repro.workload.workload import Workload
+
+
+@pytest.fixture
+def schema():
+    return synthetic_table(8, row_count=50_000, random_state=1)
+
+
+@pytest.fixture
+def stream(schema):
+    return rotating_hot_set_stream(
+        schema,
+        num_phases=2,
+        queries_per_phase=40,
+        hot_size=4,
+        min_attributes=1,
+        max_attributes=4,
+        random_state=1,
+    )
+
+
+class TestSlidingWindowStats:
+    def test_windowed_stats_equal_batch_stats(self, schema, stream):
+        """After any number of arrivals the incremental summary must equal
+        the batch statistics of exactly the last ``window`` queries."""
+        window = 16
+        stats = SlidingWindowStats(schema, window)
+        arrived = []
+        for query in stream:
+            stats.observe(query)
+            arrived.append(query)
+            batch = Workload(schema, arrived[-window:], name="batch")
+            assert np.allclose(stats.affinity(), batch.affinity_matrix())
+            assert stats.total_weight() == pytest.approx(batch.total_weight)
+        assert stats.size == window
+        assert stats.arrivals == len(stream)
+
+    def test_footprints_aggregate_and_evict_cleanly(self, schema):
+        names = schema.attribute_names
+        stats = SlidingWindowStats(schema, 4)
+        q_ab = Query("x", names[:2]).resolve(schema)
+        q_c = Query("y", [names[2]]).resolve(schema)
+        for _ in range(3):
+            stats.observe(q_ab)
+        stats.observe(q_c)
+        assert stats.distinct_footprints == 2
+        # Two more arrivals of q_c evict two q_ab occurrences.
+        stats.observe(q_c)
+        stats.observe(q_c)
+        weights = stats.footprint_weights()
+        assert weights[q_ab.index_mask] == pytest.approx(1.0)
+        assert weights[q_c.index_mask] == pytest.approx(3.0)
+        # Evicting the last q_ab drops the entry entirely (no float residue).
+        stats.observe(q_c)
+        assert q_ab.index_mask not in stats.footprint_weights()
+
+    def test_as_workload_is_weight_equivalent(self, schema, stream):
+        stats = SlidingWindowStats(schema, 24)
+        for query in stream:
+            stats.observe(query)
+        aggregated = stats.as_workload()
+        raw = Workload(schema, list(stream.queries[-24:]), name="raw")
+        assert aggregated.total_weight == pytest.approx(raw.total_weight)
+        assert np.allclose(aggregated.affinity_matrix(), raw.affinity_matrix())
+        # Deterministic materialisation: same window -> identical workload.
+        assert [q.name for q in stats.as_workload()] == [q.name for q in aggregated]
+
+    def test_needed_bytes_tracks_window(self, schema):
+        names = schema.attribute_names
+        stats = SlidingWindowStats(schema, 2)
+        wide = Query("w", names[:4]).resolve(schema)
+        narrow = Query("n", [names[0]]).resolve(schema)
+        stats.observe(wide)
+        wide_bytes = stats.weighted_needed_bytes()
+        stats.observe(narrow)
+        stats.observe(narrow)  # evicts the wide query
+        expected = 2 * schema.subset_row_size([0]) * schema.row_count
+        assert stats.weighted_needed_bytes() == pytest.approx(expected)
+        assert stats.weighted_needed_bytes() < wide_bytes
+
+    def test_rejects_bad_window(self, schema):
+        with pytest.raises(ValueError):
+            SlidingWindowStats(schema, 0)
+
+
+class TestDecayedStats:
+    def test_decay_discounts_old_queries(self, schema):
+        names = schema.attribute_names
+        stats = DecayedStats(schema, decay=0.5)
+        old = Query("old", [names[0]]).resolve(schema)
+        new = Query("new", [names[1]]).resolve(schema)
+        stats.observe(old)
+        for _ in range(4):
+            stats.observe(new)
+        weights = stats.footprint_weights()
+        # The old query decayed through four halvings (the newest arrival
+        # contributes its full weight: decay**0).
+        assert weights[old.index_mask] == pytest.approx(0.5**4)
+        assert weights[new.index_mask] == pytest.approx(
+            sum(0.5**k for k in range(4))
+        )
+
+    def test_matches_explicit_decay_sum(self, schema, stream):
+        decay = 0.9
+        stats = DecayedStats(schema, decay=decay)
+        queries = list(stream)[:30]
+        for query in queries:
+            stats.observe(query)
+        expected = np.zeros((schema.attribute_count, schema.attribute_count))
+        for age, query in enumerate(reversed(queries)):
+            for i in query.attribute_indices:
+                for j in query.attribute_indices:
+                    expected[i, j] += query.weight * decay**age
+        assert np.allclose(stats.affinity(), expected)
+
+    def test_renormalization_keeps_values(self, schema):
+        names = schema.attribute_names
+        # Aggressive decay forces the running scale through renormalisation.
+        stats = DecayedStats(schema, decay=0.01)
+        query = Query("q", names[:2]).resolve(schema)
+        for _ in range(12):  # 0.01**12 is far below the renormalise threshold
+            stats.observe(query)
+        weights = stats.footprint_weights()
+        expected = sum(0.01**k for k in range(12))
+        assert weights[query.index_mask] == pytest.approx(expected)
+
+    def test_rejects_bad_decay(self, schema):
+        with pytest.raises(ValueError):
+            DecayedStats(schema, decay=0.0)
+        with pytest.raises(ValueError):
+            DecayedStats(schema, decay=1.5)

@@ -1,0 +1,186 @@
+"""Unit tests for the query stream sources (repro.online.stream)."""
+
+import pytest
+
+from repro.online.stream import (
+    QueryStream,
+    StreamError,
+    phase_shift_stream,
+    replay_stream,
+    rotating_hot_set_stream,
+    zipf_template_stream,
+)
+from repro.workload.query import Query
+from repro.workload.schema import Column, TableSchema
+from repro.workload.synthetic import synthetic_table
+
+
+@pytest.fixture
+def schema():
+    return synthetic_table(10, row_count=10_000, random_state=0)
+
+
+def footprints(stream):
+    return [query.attribute_indices for query in stream]
+
+
+class TestQueryStream:
+    def test_rejects_out_of_range_boundaries(self, schema):
+        queries = [Query(f"Q{i}", [schema.attribute_names[0]]) for i in range(4)]
+        with pytest.raises(StreamError):
+            QueryStream(schema, queries, phase_boundaries=[0])
+        with pytest.raises(StreamError):
+            QueryStream(schema, queries, phase_boundaries=[4])
+
+    def test_phase_of_follows_boundaries(self, schema):
+        queries = [Query(f"Q{i}", [schema.attribute_names[0]]) for i in range(6)]
+        stream = QueryStream(schema, queries, phase_boundaries=[2, 4])
+        assert [stream.phase_of(i) for i in range(6)] == [0, 0, 1, 1, 2, 2]
+        assert stream.phase_count == 3
+
+    def test_as_workload_preserves_order(self, schema):
+        queries = [Query(f"Q{i}", [schema.attribute_names[i % 3]]) for i in range(5)]
+        stream = QueryStream(schema, queries, name="s")
+        workload = stream.as_workload()
+        assert [q.name for q in workload] == [f"Q{i}" for i in range(5)]
+
+    def test_prefix_workload_bounds(self, schema):
+        queries = [Query(f"Q{i}", [schema.attribute_names[0]]) for i in range(3)]
+        stream = QueryStream(schema, queries)
+        assert stream.prefix_workload(2).query_count == 2
+        with pytest.raises(StreamError):
+            stream.prefix_workload(0)
+        with pytest.raises(StreamError):
+            stream.prefix_workload(4)
+
+
+class TestReplayStream:
+    def test_replays_workload_in_order(self, lineitem_workload):
+        stream = replay_stream(lineitem_workload)
+        assert [q.name for q in stream] == [q.name for q in lineitem_workload]
+        assert stream.phase_count == 1
+
+
+class TestPhaseShiftStream:
+    def make(self, schema, seed=0, noise=0.0):
+        names = schema.attribute_names
+        phases = [
+            [Query("A1", names[:3]), Query("A2", names[3:6])],
+            [Query("B1", names[2:5]), Query("B2", names[5:8])],
+        ]
+        return phase_shift_stream(
+            schema, phases, queries_per_phase=20, noise=noise, random_state=seed
+        )
+
+    def test_seed_determinism(self, schema):
+        assert footprints(self.make(schema, seed=5)) == footprints(
+            self.make(schema, seed=5)
+        )
+        assert footprints(self.make(schema, seed=5)) != footprints(
+            self.make(schema, seed=6)
+        )
+
+    def test_phase_boundaries_and_membership(self, schema):
+        stream = self.make(schema)
+        assert stream.phase_boundaries == (20,)
+        names = schema.attribute_names
+        allowed = [
+            {frozenset(names[:3]), frozenset(names[3:6])},
+            {frozenset(names[2:5]), frozenset(names[5:8])},
+        ]
+        for arrival, query in enumerate(stream):
+            attrs = frozenset(names[i] for i in query.attribute_indices)
+            assert attrs in allowed[stream.phase_of(arrival)]
+
+    def test_noise_injects_one_off_footprints(self, schema):
+        noisy = self.make(schema, seed=1, noise=0.5)
+        noise_queries = [q for q in noisy if q.name.startswith("noise@")]
+        assert noise_queries  # with p=0.5 over 40 arrivals this is certain-ish
+        # noise is deterministic under the seed too
+        again = self.make(schema, seed=1, noise=0.5)
+        assert footprints(noisy) == footprints(again)
+
+    def test_rejects_bad_parameters(self, schema):
+        with pytest.raises(StreamError):
+            phase_shift_stream(schema, [], queries_per_phase=5)
+        with pytest.raises(StreamError):
+            phase_shift_stream(
+                schema, [[Query("Q", [schema.attribute_names[0]])]], queries_per_phase=0
+            )
+        with pytest.raises(StreamError):
+            self.make(schema, noise=1.5)
+
+
+class TestRotatingHotSetStream:
+    def test_seed_determinism(self, schema):
+        streams = [
+            rotating_hot_set_stream(
+                schema, num_phases=3, queries_per_phase=15, random_state=9
+            )
+            for _ in range(2)
+        ]
+        assert footprints(streams[0]) == footprints(streams[1])
+
+    def test_queries_mostly_within_hot_set(self, schema):
+        stream = rotating_hot_set_stream(
+            schema,
+            num_phases=2,
+            queries_per_phase=50,
+            hot_size=4,
+            hot_probability=1.0,
+            max_attributes=3,
+            random_state=3,
+        )
+        # With hot_probability=1 every referenced attribute is hot, and the
+        # two phases use different (rotated) hot sets.
+        per_phase = [set(), set()]
+        for arrival, query in enumerate(stream):
+            per_phase[stream.phase_of(arrival)].update(query.attribute_indices)
+        assert len(per_phase[0]) <= 4 and len(per_phase[1]) <= 4
+        assert per_phase[0] != per_phase[1]
+
+    def test_footprint_capped_by_drawable_attributes(self, schema):
+        """Regression: hot_probability=1.0 leaves only the hot set drawable;
+        a requested footprint larger than that is capped, not a crash."""
+        stream = rotating_hot_set_stream(
+            schema,
+            num_phases=2,
+            queries_per_phase=20,
+            hot_size=3,
+            max_attributes=6,
+            hot_probability=1.0,
+            random_state=0,
+        )
+        assert all(len(query.attribute_indices) <= 3 for query in stream)
+
+    def test_boundaries_match_phase_length(self, schema):
+        stream = rotating_hot_set_stream(
+            schema, num_phases=4, queries_per_phase=10, random_state=0
+        )
+        assert stream.phase_boundaries == (10, 20, 30)
+        assert len(stream) == 40
+
+
+class TestZipfTemplateStream:
+    def test_seed_determinism_and_length(self, schema):
+        a = zipf_template_stream(schema, num_templates=5, length=60, random_state=2)
+        b = zipf_template_stream(schema, num_templates=5, length=60, random_state=2)
+        assert footprints(a) == footprints(b)
+        assert len(a) == 60
+
+    def test_skew_concentrates_mass(self, schema):
+        stream = zipf_template_stream(
+            schema, num_templates=6, length=300, skew=2.0, random_state=4
+        )
+        counts = {}
+        for query in stream:
+            template = query.name.split("@")[0]
+            counts[template] = counts.get(template, 0) + 1
+        # The most frequent template dominates under strong skew.
+        assert max(counts.values()) > 300 // 3
+
+    def test_rotation_creates_boundaries(self, schema):
+        stream = zipf_template_stream(
+            schema, num_templates=4, length=90, rotate_every=30, random_state=0
+        )
+        assert stream.phase_boundaries == (30, 60)
