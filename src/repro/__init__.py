@@ -28,11 +28,14 @@ The public surface re-exported here:
 * experiment drivers for every table and figure — :mod:`repro.experiments`;
 * the streaming/adaptive re-partitioning subsystem — :mod:`repro.online`
   (query streams, windowed statistics, drift triggers, the pay-off-gated
-  :class:`~repro.online.controller.AdaptiveAdvisor`; see ``docs/ONLINE.md``).
+  :class:`~repro.online.controller.AdaptiveAdvisor`; see ``docs/ONLINE.md``);
+* the comparison-grid subsystem — :mod:`repro.grid` (declarative
+  algorithm x workload x cost model grids, parallel execution, persistent
+  content-hash result cache; ``python -m repro.grid``, see ``docs/GRID.md``).
 """
 
 from repro.workload import Column, Query, TableSchema, Workload
-from repro.workload import tpch, ssb, synthetic
+from repro.workload import tpch, ssb, star, synthetic, telemetry
 from repro.cost import (
     DEFAULT_DISK,
     DiskCharacteristics,
@@ -48,7 +51,7 @@ from repro.core import (
     get_algorithm,
     row_partitioning,
 )
-from repro import algorithms, metrics, online
+from repro import algorithms, grid, metrics, online
 
 __version__ = "1.0.0"
 
@@ -59,7 +62,9 @@ __all__ = [
     "Workload",
     "tpch",
     "ssb",
+    "star",
     "synthetic",
+    "telemetry",
     "DiskCharacteristics",
     "DEFAULT_DISK",
     "HDDCostModel",
@@ -72,6 +77,7 @@ __all__ = [
     "get_algorithm",
     "available_algorithms",
     "algorithms",
+    "grid",
     "metrics",
     "online",
     "__version__",

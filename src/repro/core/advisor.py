@@ -229,6 +229,52 @@ class LayoutAdvisor:
         """Run the advisor for each workload of a benchmark (one per table)."""
         return {name: self.recommend(workload) for name, workload in workloads.items()}
 
+    # -- comparison grids ------------------------------------------------------
+
+    def compare(
+        self,
+        workloads: Optional[Sequence[str]] = None,
+        cost_models: Sequence[str] = ("hdd", "mainmemory"),
+        grid=None,
+        cache_dir: Optional[str] = None,
+        workers: int = 1,
+        refresh: bool = False,
+    ):
+        """Run a comparison grid (the paper's systematic study) and return its report.
+
+        The grid counterpart of :meth:`recommend`: instead of one workload
+        under this advisor's cost model, a full (algorithm x workload x cost
+        model) cross product executed through :func:`repro.grid.run_grid` —
+        optionally parallel (``workers``) and incremental (``cache_dir``).
+
+        Either pass ``workloads`` (workload ids, see
+        :func:`repro.grid.resolve_workload`) and ``cost_models`` to build a
+        grid from this advisor's configured algorithms and options, or pass
+        ``grid`` — a :class:`~repro.grid.spec.GridSpec` or a builtin grid
+        name (``"tiny"``, ``"small"``, ``"full"``) — to run it as-is.
+        Returns the :class:`~repro.grid.runner.GridReport`; its
+        :meth:`~repro.grid.runner.GridReport.describe` renders the headline
+        tables.
+        """
+        # Imported here to avoid a circular import at package load time.
+        from repro.grid import GridSpec, builtin_grid, run_grid
+
+        if grid is not None:
+            spec = builtin_grid(grid) if isinstance(grid, str) else grid
+        else:
+            if not workloads:
+                raise ValueError("compare() needs workload ids or a grid")
+            spec = GridSpec(
+                name="advisor",
+                algorithms=self.algorithm_names,
+                workloads=tuple(workloads),
+                cost_models=tuple(cost_models),
+                algorithm_options=self.algorithm_options,
+            )
+        return run_grid(
+            spec, cache_dir=cache_dir, workers=workers, refresh=refresh
+        )
+
 
 def _relative_improvement(baseline: float, cost: float) -> float:
     """(baseline - cost) / baseline, guarded against a zero baseline."""

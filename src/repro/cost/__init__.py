@@ -26,12 +26,21 @@ from repro.cost.disk import (
 from repro.cost.hdd import HDDCostModel
 from repro.cost.mainmemory import MainMemoryCharacteristics, MainMemoryCostModel
 from repro.cost.creation import estimate_creation_time
-from repro.cost.evaluator import BoundLayout, CostEvaluator
+from repro.cost.evaluator import (
+    BoundLayout,
+    CostEvaluator,
+    cache_sharing_enabled,
+    clear_shared_caches,
+    enable_cache_sharing,
+)
 
 __all__ = [
     "CostModel",
     "CostEvaluator",
     "BoundLayout",
+    "enable_cache_sharing",
+    "cache_sharing_enabled",
+    "clear_shared_caches",
     "DiskCharacteristics",
     "DEFAULT_DISK",
     "POSTGRES_LIKE_DISK",

@@ -99,5 +99,12 @@ class CostModel(abc.ABC):
         )
 
     def describe(self) -> str:
-        """Human-readable description of the model and its parameters."""
+        """Human-readable description of the model and its parameters.
+
+        Contract: the string must spell out **every** parameter that can
+        change a cost value.  The evaluator's shared cache pool and the grid
+        result cache both key models by this description (plus the model
+        class), so an omitted knob would let differently-behaving instances
+        of one class share cached costs.
+        """
         return self.name

@@ -51,6 +51,7 @@ calling ``workload_cost`` — the pre-kernel behaviour.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.partitioning import (
@@ -61,11 +62,85 @@ from repro.core.partitioning import (
     merge_group_pair,
 )
 from repro.cost.base import CostModel
+from repro.workload.schema import TableSchema
 from repro.workload.workload import Workload
 
 #: Anything the algorithms use to describe one column group: a bitmask, a
 #: ``Partition``, or an iterable of attribute indices (frozenset, list, ...).
 GroupLike = Union[int, Partition, Iterable[int]]
+
+
+# -- process-local cache sharing ------------------------------------------------
+#
+# The grid runner executes many cells (algorithm x cost model) on the *same*
+# schema inside one worker process.  The evaluator's group-profile and
+# co-read-cost caches depend only on the schema and the cost model — never on
+# the workload or the algorithm — so cells can share them.  When sharing is
+# enabled (the grid worker initializer turns it on), every evaluator
+# constructed for the same ``(schema, cost-model description, naive)`` triple
+# adopts one process-local set of cache dicts instead of private ones.
+#
+# The pool is keyed by the current PID: a forked or spawned worker never
+# mutates cache dicts aliased by another process (after ``fork`` the memory is
+# copy-on-write anyway, but discarding the inherited pool keeps the semantics
+# identical under every start method), which is what makes the sharing
+# process-safe.  Sharing never changes any cost value — the caches only ever
+# hold values the exactness invariants above pin down uniquely.
+
+_shared_pool: Dict[Tuple[TableSchema, str, str, bool], Tuple[dict, dict, dict]] = {}
+_shared_pool_pid: Optional[int] = None
+_sharing_enabled: bool = False
+
+
+def enable_cache_sharing(enabled: bool = True) -> bool:
+    """Turn process-local evaluator cache sharing on or off.
+
+    Returns the previous setting so callers can restore it.  Intended for
+    long-lived worker processes (see :mod:`repro.grid.worker`); the default is
+    off, preserving the one-evaluator-per-run isolation of direct library use.
+    """
+    global _sharing_enabled
+    previous = _sharing_enabled
+    _sharing_enabled = bool(enabled)
+    return previous
+
+
+def cache_sharing_enabled() -> bool:
+    """True if evaluators currently adopt the process-local shared caches."""
+    return _sharing_enabled
+
+
+def clear_shared_caches() -> None:
+    """Drop every process-local shared cache (memory reclamation hook)."""
+    _shared_pool.clear()
+
+
+def _shared_caches(
+    schema: TableSchema, cost_model: CostModel, naive: bool
+) -> Tuple[dict, dict, dict]:
+    """The process-local ``(group_keys, group_profiles, signature_costs)`` dicts.
+
+    The pool key includes the model's *class* (unwrapping the algorithm
+    framework's counting wrapper) on top of ``describe()``, so two custom
+    model classes that both inherit the bare default ``describe()`` cannot
+    share entries.  Two differently-parameterised instances of the *same*
+    class remain indistinguishable unless ``describe()`` spells out every
+    behavioural knob — which is the documented contract for fast-costing
+    models (see :meth:`repro.cost.base.CostModel.describe`).
+    """
+    global _shared_pool, _shared_pool_pid
+    pid = os.getpid()
+    if _shared_pool_pid != pid:
+        _shared_pool = {}
+        _shared_pool_pid = pid
+    inner = getattr(cost_model, "inner", cost_model)
+    model_class = f"{type(inner).__module__}.{type(inner).__qualname__}"
+    key = (schema, model_class, cost_model.describe(), naive)
+    caches = _shared_pool.get(key)
+    if caches is None:
+        caches = ({}, {}, {(): 0.0})
+        _shared_pool[key] = caches
+    return caches
 
 
 class CostEvaluator:
@@ -103,10 +178,17 @@ class CostEvaluator:
         )
         self._weights: Tuple[float, ...] = tuple(query.weight for query in workload)
         # Group-local caches, keyed by group bitmask; valid across all layouts.
-        self._group_keys: Dict[int, Tuple[int, ...]] = {}
-        self._group_profiles: Dict[int, object] = {}
-        # Per-co-read-set cache: ordered tuple of group masks -> query cost.
-        self._signature_costs: Dict[Tuple[int, ...], float] = {(): 0.0}
+        # With process-local sharing enabled they are adopted from the shared
+        # pool so evaluators on the same (schema, model) reuse each other's
+        # memoized profiles and co-read costs.
+        if _sharing_enabled:
+            caches = _shared_caches(self.schema, cost_model, self.naive)
+            self._group_keys, self._group_profiles, self._signature_costs = caches
+        else:
+            self._group_keys = {}
+            self._group_profiles = {}
+            # Per-co-read-set cache: ordered tuple of group masks -> query cost.
+            self._signature_costs = {(): 0.0}
         self._bound: Optional[BoundLayout] = None
         #: Number of candidate layouts costed through the memoized kernel (the
         #: algorithms' effort proxy).  The naive fallback path is excluded:

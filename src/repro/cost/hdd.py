@@ -204,4 +204,8 @@ class HDDCostModel(CostModel):
         return HDDCostModel(disk, buffer_sharing=self.buffer_sharing)
 
     def describe(self) -> str:
-        return f"hdd({self.disk.describe()})"
+        # Every behavioural knob must appear here: the cost-evaluator's shared
+        # cache pool and the grid result cache key models by this string, so an
+        # omitted parameter would let differently-behaving models share entries.
+        sharing = "" if self.buffer_sharing == "proportional" else f" sharing={self.buffer_sharing}"
+        return f"hdd({self.disk.describe()}{sharing})"

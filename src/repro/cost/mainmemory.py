@@ -157,7 +157,11 @@ class MainMemoryCostModel(CostModel):
         return MainMemoryCostModel(memory)
 
     def describe(self) -> str:
+        # Every behavioural knob must appear here: the cost-evaluator's shared
+        # cache pool and the grid result cache key models by this string, so an
+        # omitted parameter would let differently-behaving models share entries.
         return (
             f"main-memory(line={self.memory.cache_line_size}B, "
-            f"miss={self.memory.cache_miss_latency * 1e9:g}ns)"
+            f"miss={self.memory.cache_miss_latency * 1e9:g}ns, "
+            f"penalty={self.memory.partition_access_penalty * 1e9:g}ns)"
         )

@@ -1,0 +1,60 @@
+"""The comparison grid: the paper's systematic study as a runnable subsystem.
+
+The paper's central artifact is not one algorithm but the *grid* — every
+vertical partitioning algorithm crossed with every schema, workload and
+hardware cost model.  This package makes that grid declarative, parallel and
+incremental:
+
+* :mod:`repro.grid.spec` — :class:`GridSpec` / :class:`GridCell` describe the
+  cross product by id; workload and cost model resolvers turn ids into
+  objects on either side of a process boundary.
+* :mod:`repro.grid.cache` — :class:`ResultCache`, an on-disk JSON cache keyed
+  by a content hash of each cell's resolved inputs, so re-runs and
+  interrupted runs are incremental and corrupted or stale entries are
+  recomputed rather than trusted.
+* :mod:`repro.grid.worker` — per-process cell execution; workers rebind the
+  memoized :class:`~repro.cost.evaluator.CostEvaluator` kernel per schema via
+  process-local cache sharing.
+* :mod:`repro.grid.runner` — :func:`run_grid`, the serial/parallel execution
+  loop returning a :class:`GridReport`.
+* :mod:`repro.grid.aggregate` — cells to headline tables (quality,
+  optimisation time, pay-off, fragility, cross-model).
+* :mod:`repro.grid.cli` — the ``python -m repro.grid`` front end.
+
+See ``docs/GRID.md`` for cell hashing, the cache layout on disk, resume
+semantics and worker-pool sizing.
+"""
+
+from repro.grid.spec import (
+    BUILTIN_GRIDS,
+    GridCell,
+    GridError,
+    GridSpec,
+    builtin_grid,
+    register_cost_model,
+    register_workload,
+    resolve_cost_model,
+    resolve_workload,
+)
+from repro.grid.cache import ResultCache, content_key, deterministic_payload
+from repro.grid.runner import CellResult, GridReport, run_grid
+from repro.grid.aggregate import headline_tables
+
+__all__ = [
+    "BUILTIN_GRIDS",
+    "GridCell",
+    "GridError",
+    "GridSpec",
+    "builtin_grid",
+    "register_workload",
+    "register_cost_model",
+    "resolve_workload",
+    "resolve_cost_model",
+    "ResultCache",
+    "content_key",
+    "deterministic_payload",
+    "CellResult",
+    "GridReport",
+    "run_grid",
+    "headline_tables",
+]

@@ -1,0 +1,16 @@
+"""``python -m repro.grid`` dispatch."""
+
+import os
+import sys
+
+from repro.grid.cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early; exit quietly after
+        # pointing stdout at devnull so interpreter shutdown cannot re-raise.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

@@ -1,0 +1,190 @@
+"""Aggregation of grid cells into the paper's headline tables.
+
+Each function maps a sequence of cell results to plain list-of-dict rows (the
+same convention as :mod:`repro.experiments`), rendered through
+:func:`repro.experiments.report.format_table` by :func:`headline_tables`.
+The four headline views mirror the paper's evaluation axes:
+
+* **layout quality** (Figures 3–5, Tables 5/6) — estimated cost, improvement
+  over the row and column baselines, unnecessary data read, reconstruction
+  joins;
+* **optimisation time** (Figure 1) — wall clock and cost evaluations;
+* **pay-off** (Figure 10 / Appendix A.1) — how many workload executions
+  amortise the optimisation + creation investment, against both baselines;
+* **fragility** (Figure 8) — relative cost change of the *stored* layout when
+  the I/O buffer shrinks 100x after the fact (HDD cells only: the main-memory
+  model has no buffer to shrink).
+
+All aggregation is computed from cached payloads (plus cheap local re-costing
+for fragility), so a fully cached grid run reproduces its tables without
+running a single algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+from repro.cost.hdd import HDDCostModel
+from repro.experiments.report import format_table
+from repro.grid.spec import resolve_cost_model, resolve_workload
+from repro.grid.worker import payload_layout
+from repro.metrics.fragility import fragility as fragility_metric
+from repro.metrics.payoff import payoff_fraction
+from repro.workload.workload import Workload
+
+if TYPE_CHECKING:  # imported for type hints only; runner imports this module
+    from repro.grid.runner import CellResult
+
+#: Shrink factor of the fragility stress (8 MB -> 80 KB, the paper's Figure 8).
+FRAGILITY_BUFFER_SHRINK = 100
+
+
+def quality_rows(results: Sequence["CellResult"]) -> List[Dict[str, object]]:
+    """One row per cell: cost, improvements, waste, reconstruction joins."""
+    rows = []
+    for result in results:
+        payload = result.payload
+        rows.append(
+            {
+                "workload": result.cell.workload,
+                "cost model": result.cell.cost_model,
+                "algorithm": result.cell.algorithm,
+                "cost (s)": payload["estimated_cost"],
+                "vs row %": 100.0 * payload["improvement_over_row"],
+                "vs column %": 100.0 * payload["improvement_over_column"],
+                "waste %": 100.0 * payload["unnecessary_data_fraction"],
+                "joins": payload["average_reconstruction_joins"],
+                "parts": payload["partitions"],
+            }
+        )
+    return rows
+
+
+def optimization_time_rows(results: Sequence["CellResult"]) -> List[Dict[str, object]]:
+    """One row per cell: wall-clock optimisation time and effort proxy."""
+    rows = []
+    for result in results:
+        payload = result.payload
+        rows.append(
+            {
+                "workload": result.cell.workload,
+                "cost model": result.cell.cost_model,
+                "algorithm": result.cell.algorithm,
+                "opt time (ms)": 1e3 * payload["timing"]["optimization_time"],
+                "cost evals": payload["cost_evaluations"],
+                "creation (s)": payload["creation_time"],
+            }
+        )
+    return rows
+
+
+def payoff_rows(results: Sequence["CellResult"]) -> List[Dict[str, object]]:
+    """One row per cell: workload executions to amortise the investment."""
+    rows = []
+    for result in results:
+        payload = result.payload
+        optimization_time = payload["timing"]["optimization_time"]
+        creation_time = payload["creation_time"]
+        rows.append(
+            {
+                "workload": result.cell.workload,
+                "cost model": result.cell.cost_model,
+                "algorithm": result.cell.algorithm,
+                "payoff vs row": payoff_fraction(
+                    optimization_time,
+                    creation_time,
+                    payload["row_cost"],
+                    payload["estimated_cost"],
+                ),
+                "payoff vs column": payoff_fraction(
+                    optimization_time,
+                    creation_time,
+                    payload["column_cost"],
+                    payload["estimated_cost"],
+                ),
+            }
+        )
+    return rows
+
+
+def fragility_rows(
+    results: Sequence["CellResult"],
+    buffer_shrink: int = FRAGILITY_BUFFER_SHRINK,
+) -> List[Dict[str, object]]:
+    """Cost change of each stored layout when the buffer shrinks after the fact.
+
+    Only cells whose cost model is an :class:`HDDCostModel` participate.  The
+    stored layout is re-costed locally under a model whose buffer is
+    ``buffer_shrink`` times smaller (never below one block), so this view
+    needs no algorithm re-runs.
+    """
+    rows = []
+    workloads: Dict[str, Workload] = {}
+    for result in results:
+        model = resolve_cost_model(result.cell.cost_model)
+        if not isinstance(model, HDDCostModel):
+            continue
+        workload = workloads.get(result.cell.workload)
+        if workload is None:
+            workload = resolve_workload(result.cell.workload)
+            workloads[result.cell.workload] = workload
+        disk = model.disk
+        shrunk = HDDCostModel(
+            disk.with_buffer_size(max(disk.block_size, disk.buffer_size // buffer_shrink)),
+            buffer_sharing=model.buffer_sharing,
+        )
+        layout = payload_layout(result.payload, workload)
+        rows.append(
+            {
+                "workload": result.cell.workload,
+                "cost model": result.cell.cost_model,
+                "algorithm": result.cell.algorithm,
+                f"fragility (buffer/{buffer_shrink})": fragility_metric(
+                    workload, layout, model, shrunk
+                ),
+            }
+        )
+    return rows
+
+
+def cross_model_rows(results: Sequence["CellResult"]) -> List[Dict[str, object]]:
+    """Improvement over column per cost model — the paper's Table 6 pivot.
+
+    One row per (workload, algorithm); one column per cost model present.
+    """
+    by_key: Dict[tuple, Dict[str, object]] = {}
+    model_ids: List[str] = []
+    for result in results:
+        if result.cell.cost_model not in model_ids:
+            model_ids.append(result.cell.cost_model)
+        key = (result.cell.workload, result.cell.algorithm)
+        row = by_key.setdefault(
+            key,
+            {"workload": result.cell.workload, "algorithm": result.cell.algorithm},
+        )
+        row[f"vs column % ({result.cell.cost_model})"] = (
+            100.0 * result.payload["improvement_over_column"]
+        )
+    columns = ["workload", "algorithm"] + [f"vs column % ({m})" for m in model_ids]
+    return [
+        {name: row.get(name, "") for name in columns} for row in by_key.values()
+    ]
+
+
+def headline_tables(results: Sequence["CellResult"]) -> str:
+    """The four headline tables rendered as aligned plain text."""
+    sections = [
+        format_table(quality_rows(results), title="Layout quality"),
+        format_table(optimization_time_rows(results), title="Optimisation time"),
+        format_table(payoff_rows(results), title="Pay-off (workload executions)"),
+    ]
+    fragility = fragility_rows(results)
+    if fragility:
+        sections.append(
+            format_table(fragility, title="Fragility (stored layout, shrunken buffer)")
+        )
+    if len({result.cell.cost_model for result in results}) > 1:
+        sections.append(
+            format_table(cross_model_rows(results), title="Cross-model comparison")
+        )
+    return "\n\n".join(sections)

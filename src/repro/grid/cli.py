@@ -1,0 +1,124 @@
+"""Command-line entry point: ``python -m repro.grid``.
+
+Runs a comparison grid — builtin (``--grid tiny|small|full``) or assembled
+from explicit axes (``--algorithms``, ``--workloads``, ``--cost-models``) —
+against a persistent result cache and prints the cache accounting followed by
+the headline tables.  A second identical invocation is served almost entirely
+from the cache; an interrupted run resumes where it stopped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.grid.runner import run_grid
+from repro.grid.spec import BUILTIN_GRIDS, GridError, GridSpec, builtin_grid
+
+#: Cache location used when the caller does not pass ``--cache-dir``.
+DEFAULT_CACHE_DIR = ".grid-cache"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for ``--help`` testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.grid",
+        description=(
+            "Run a comparison grid (algorithm x workload x cost model) with a "
+            "persistent result cache."
+        ),
+    )
+    parser.add_argument(
+        "--grid",
+        default="small",
+        help=f"builtin grid to run ({', '.join(sorted(BUILTIN_GRIDS))}); default: small",
+    )
+    parser.add_argument(
+        "--algorithms",
+        help="comma-separated algorithm names overriding the builtin grid's axis",
+    )
+    parser.add_argument(
+        "--workloads",
+        help="comma-separated workload ids overriding the builtin grid's axis",
+    )
+    parser.add_argument(
+        "--cost-models",
+        help="comma-separated cost model ids overriding the builtin grid's axis",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process pool size for fresh cells (default: 1, in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run without reading or writing the result cache",
+    )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="recompute every cell, overwriting cached entries",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-cell progress lines (tables are still printed)",
+    )
+    return parser
+
+
+def _spec_from_args(args: argparse.Namespace) -> GridSpec:
+    base = builtin_grid(args.grid)
+    overrides = {}
+    for axis in ("algorithms", "workloads", "cost_models"):
+        raw = getattr(args, axis)
+        if raw:
+            overrides[axis] = tuple(part.strip() for part in raw.split(",") if part.strip())
+    if not overrides:
+        return base
+    return GridSpec(
+        name=f"{base.name}+custom",
+        algorithms=overrides.get("algorithms", base.algorithms),
+        workloads=overrides.get("workloads", base.workloads),
+        cost_models=overrides.get("cost_models", base.cost_models),
+        algorithm_options=dict(
+            (name, dict(options)) for name, options in base.algorithm_options
+        ),
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the grid CLI; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        spec = _spec_from_args(args)
+    except GridError as error:
+        parser.error(str(error))
+        return 2  # unreachable; parser.error raises SystemExit
+
+    progress = None if args.quiet else lambda line: print(f"  {line}")
+    print(spec.describe())
+    try:
+        report = run_grid(
+            spec,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            workers=args.workers,
+            refresh=args.refresh,
+            progress=progress,
+        )
+    except GridError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    # GridReport.describe() is the single source of the report format; skip
+    # its first line (the spec shape) — printed above before the run started.
+    print("\n".join(report.describe().splitlines()[1:]))
+    return 0

@@ -1,0 +1,212 @@
+"""The grid runner: cached, resumable, optionally parallel cell execution.
+
+:func:`run_grid` takes a :class:`~repro.grid.spec.GridSpec` and
+
+1. resolves every workload and cost model once in the parent process to
+   fingerprint each cell and derive its cache key,
+2. serves every cell the cache can answer (missing/corrupt/stale entries are
+   treated as misses — see :mod:`repro.grid.cache`),
+3. executes the remaining cells either in-process (``workers <= 1``) or
+   across a ``multiprocessing`` pool whose workers share memoized
+   :class:`~repro.cost.evaluator.CostEvaluator` caches per schema,
+4. persists each fresh result (cache writes happen only in the parent, so
+   concurrent workers never race on files), and
+5. returns a :class:`GridReport` ordered by the spec's canonical cell order —
+   independent of pool completion order, so serial and parallel runs produce
+   identical reports.
+
+Interrupting a run loses only the cells in flight: everything already stored
+is served from the cache on the next invocation, which is what makes large
+grids resumable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cost.evaluator import clear_shared_caches, enable_cache_sharing
+from repro.grid import worker as grid_worker
+from repro.grid.aggregate import headline_tables
+from repro.grid.cache import ResultCache, cell_inputs, content_key
+from repro.grid.spec import GridCell, GridSpec, resolve_cost_model, resolve_workload
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One executed (or cache-served) grid cell."""
+
+    cell: GridCell
+    key: str
+    payload: Dict[str, object]
+    cached: bool
+
+    @property
+    def estimated_cost(self) -> float:
+        """Estimated workload cost of the cell's layout."""
+        return float(self.payload["estimated_cost"])
+
+    @property
+    def layout(self) -> List[Tuple[str, ...]]:
+        """The layout as tuples of attribute names (canonical order)."""
+        return [tuple(group) for group in self.payload["layout"]]
+
+
+@dataclass
+class GridReport:
+    """All cell results of one grid run plus the cache accounting."""
+
+    spec: GridSpec
+    results: List[CellResult]
+    cache: Optional[ResultCache] = None
+
+    @property
+    def cache_hits(self) -> int:
+        """Cells served from the cache."""
+        return sum(1 for result in self.results if result.cached)
+
+    @property
+    def computed(self) -> int:
+        """Cells executed fresh."""
+        return sum(1 for result in self.results if not result.cached)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cells served from the cache."""
+        return self.cache_hits / len(self.results) if self.results else 0.0
+
+    def cell(self, algorithm: str, workload: str, cost_model: str) -> CellResult:
+        """The result of one (algorithm, workload, cost model) combination."""
+        for result in self.results:
+            if (
+                result.cell.algorithm == algorithm
+                and result.cell.workload == workload
+                and result.cell.cost_model == cost_model
+            ):
+                return result
+        raise KeyError(f"grid has no cell {algorithm}/{workload}/{cost_model}")
+
+    def accounting(self) -> str:
+        """The cache-hit accounting line (also printed by the CLI)."""
+        return (
+            f"cells: {self.cache_hits} cached, {self.computed} computed "
+            f"({self.hit_rate * 100:.1f}% cache hits)"
+        )
+
+    def describe(self) -> str:
+        """Shape line, cache line, and the headline tables."""
+        lines = [self.spec.describe()]
+        if self.cache is not None:
+            lines.append(self.cache.describe())
+        lines.append(self.accounting())
+        lines.append("")
+        lines.append(headline_tables(self.results))
+        return "\n".join(lines)
+
+
+def run_grid(
+    spec: GridSpec,
+    cache_dir: Optional[str] = None,
+    workers: int = 1,
+    refresh: bool = False,
+    mp_start_method: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> GridReport:
+    """Execute a comparison grid, serving unchanged cells from the cache.
+
+    Parameters
+    ----------
+    spec:
+        The grid to run.
+    cache_dir:
+        Root of the persistent result cache; ``None`` disables caching.
+    workers:
+        Pool size for fresh cells; ``<= 1`` executes in-process.
+    refresh:
+        Recompute every cell even when a trusted cache entry exists (entries
+        are overwritten with the fresh results).
+    mp_start_method:
+        ``multiprocessing`` start method (``"fork"``, ``"spawn"``, ...);
+        ``None`` uses the platform default.
+    progress:
+        Optional callback receiving one line per completed cell.
+    """
+    cells = spec.cells()
+    workloads = {wid: resolve_workload(wid) for wid in spec.workloads}
+    cost_models = {cid: resolve_cost_model(cid) for cid in spec.cost_models}
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+
+    inputs_by_cell: Dict[GridCell, Dict[str, object]] = {}
+    keys_by_cell: Dict[GridCell, str] = {}
+    for cell in cells:
+        inputs = cell_inputs(
+            cell.algorithm,
+            cell.options(),
+            cell.workload,
+            workloads[cell.workload],
+            cell.cost_model,
+            cost_models[cell.cost_model],
+        )
+        inputs_by_cell[cell] = inputs
+        keys_by_cell[cell] = content_key(inputs)
+
+    payloads: Dict[GridCell, Tuple[Dict[str, object], bool]] = {}
+    pending: List[GridCell] = []
+    for cell in cells:
+        payload = None
+        if cache is not None and not refresh:
+            payload = cache.load(keys_by_cell[cell])
+        if payload is not None:
+            payloads[cell] = (payload, True)
+            if progress is not None:
+                progress(f"cached   {cell.label}")
+        else:
+            pending.append(cell)
+
+    def _record(cell: GridCell, payload: Dict[str, object]) -> None:
+        payloads[cell] = (payload, False)
+        if cache is not None:
+            cache.store(keys_by_cell[cell], inputs_by_cell[cell], payload)
+        if progress is not None:
+            progress(f"computed {cell.label}")
+
+    if pending:
+        if workers <= 1:
+            # Seed the worker memos with the already-resolved objects, and
+            # mirror the pool workers' shared-cache behaviour (it never
+            # changes values) but restore the caller's setting afterwards.
+            grid_worker._workloads.update(workloads)
+            grid_worker._cost_models.update(cost_models)
+            previous = enable_cache_sharing(True)
+            try:
+                for cell in pending:
+                    _, payload = grid_worker.execute_cell(cell)
+                    _record(cell, payload)
+            finally:
+                enable_cache_sharing(previous)
+                if not previous:
+                    # Sharing was ours alone — release the memoized profiles
+                    # rather than retaining them for the process lifetime.
+                    clear_shared_caches()
+        else:
+            context = multiprocessing.get_context(mp_start_method)
+            with context.Pool(
+                processes=min(workers, len(pending)),
+                initializer=grid_worker.initialize_worker,
+            ) as pool:
+                for cell, payload in pool.imap_unordered(
+                    grid_worker.execute_cell, pending, chunksize=1
+                ):
+                    _record(cell, payload)
+
+    results = [
+        CellResult(
+            cell=cell,
+            key=keys_by_cell[cell],
+            payload=payloads[cell][0],
+            cached=payloads[cell][1],
+        )
+        for cell in cells
+    ]
+    return GridReport(spec=spec, results=results, cache=cache)

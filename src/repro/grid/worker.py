@@ -1,0 +1,157 @@
+"""Grid cell execution, shared by the in-process path and pool workers.
+
+A work item is just a :class:`~repro.grid.spec.GridCell` — strings and plain
+options — so nothing heavyweight ever crosses the process boundary.  Workers
+re-resolve workloads and cost models from their ids and memoize them per
+process; the memoized :class:`~repro.cost.evaluator.CostEvaluator` kernel's
+process-local cache sharing is switched on by :func:`initialize_worker`, so
+every cell an algorithm runs on a schema the worker has seen before reuses the
+already-memoized group profiles and co-read costs (cells of one workload are
+adjacent in the grid order precisely to feed this).
+
+The functions here are module-level so they stay picklable under every
+``multiprocessing`` start method, including ``spawn``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.algorithm import PartitioningResult, get_algorithm
+from repro.core.partitioning import (
+    Partitioning,
+    column_partitioning,
+    partitioning_from_names,
+    row_partitioning,
+)
+from repro.cost.base import CostModel
+from repro.cost.creation import estimate_creation_time
+from repro.cost.evaluator import enable_cache_sharing
+from repro.grid.spec import GridCell, resolve_cost_model, resolve_workload
+from repro.metrics.quality import (
+    average_reconstruction_joins,
+    improvement_over,
+    unnecessary_data_fraction,
+)
+from repro.workload.workload import Workload
+
+# Per-process memos; populated lazily, valid for the worker's lifetime.  The
+# baseline memo is keyed by content (the workload itself plus the model's
+# parameter description), not by id, so re-registering an id with different
+# content can never serve stale baseline costs.
+_workloads: Dict[str, Workload] = {}
+_cost_models: Dict[str, CostModel] = {}
+_baselines: Dict[Tuple[Workload, str], Tuple[float, float]] = {}
+
+
+def initialize_worker() -> None:
+    """Pool initializer: turn on process-local evaluator cache sharing."""
+    enable_cache_sharing(True)
+
+
+def _workload(workload_id: str) -> Workload:
+    workload = _workloads.get(workload_id)
+    if workload is None:
+        workload = resolve_workload(workload_id)
+        _workloads[workload_id] = workload
+    return workload
+
+
+def _cost_model(cost_model_id: str) -> CostModel:
+    cost_model = _cost_models.get(cost_model_id)
+    if cost_model is None:
+        cost_model = resolve_cost_model(cost_model_id)
+        _cost_models[cost_model_id] = cost_model
+    return cost_model
+
+
+def baseline_costs_for(workload: Workload, cost_model: CostModel) -> Tuple[float, float]:
+    """(row cost, column cost) of one workload under one model, memoized.
+
+    Shared by the grid worker and ``run_suite``'s cache path so the baseline
+    arithmetic lives in exactly one place.
+    """
+    key = (workload, cost_model.describe())
+    baseline = _baselines.get(key)
+    if baseline is None:
+        baseline = (
+            cost_model.workload_cost(workload, row_partitioning(workload.schema)),
+            cost_model.workload_cost(workload, column_partitioning(workload.schema)),
+        )
+        _baselines[key] = baseline
+    return baseline
+
+
+def result_to_payload(
+    result: PartitioningResult,
+    workload: Workload,
+    row_cost: float,
+    column_cost: float,
+) -> Dict[str, object]:
+    """Serialise one algorithm run to the cacheable JSON payload.
+
+    Everything outside the ``timing`` section is a deterministic function of
+    the cell inputs; ``timing`` isolates the wall-clock measurement so cached
+    and fresh results can be compared byte for byte (see
+    :func:`repro.grid.cache.deterministic_payload`).
+    """
+    partitioning = result.partitioning
+    return {
+        "algorithm": result.algorithm,
+        "workload_name": result.workload_name,
+        "cost_model": result.cost_model,
+        "layout": [list(group) for group in partitioning.as_names()],
+        "partitions": partitioning.partition_count,
+        "estimated_cost": result.estimated_cost,
+        "row_cost": row_cost,
+        "column_cost": column_cost,
+        "improvement_over_row": improvement_over(row_cost, result.estimated_cost),
+        "improvement_over_column": improvement_over(
+            column_cost, result.estimated_cost
+        ),
+        "unnecessary_data_fraction": unnecessary_data_fraction(workload, partitioning),
+        "average_reconstruction_joins": average_reconstruction_joins(
+            workload, partitioning
+        ),
+        "creation_time": estimate_creation_time(partitioning),
+        "cost_evaluations": result.cost_evaluations,
+        "timing": {"optimization_time": result.optimization_time},
+    }
+
+
+def payload_to_result(
+    payload: Dict[str, object], workload: Workload
+) -> PartitioningResult:
+    """Rebuild a :class:`PartitioningResult` from a cached payload."""
+    partitioning = partitioning_from_names(workload.schema, payload["layout"])
+    timing = payload.get("timing", {})
+    return PartitioningResult(
+        algorithm=payload["algorithm"],
+        workload_name=payload["workload_name"],
+        partitioning=partitioning,
+        optimization_time=float(timing.get("optimization_time", 0.0)),
+        estimated_cost=float(payload["estimated_cost"]),
+        cost_model=payload["cost_model"],
+        cost_evaluations=int(payload.get("cost_evaluations", 0)),
+        metadata={"cached": True},
+    )
+
+
+def payload_layout(payload: Dict[str, object], workload: Workload) -> Partitioning:
+    """The stored layout as a real :class:`Partitioning` over ``workload``."""
+    return partitioning_from_names(workload.schema, payload["layout"])
+
+
+def execute_cell(cell: GridCell) -> Tuple[GridCell, Dict[str, object]]:
+    """Run one cell and return ``(cell, payload)``.
+
+    Returning the cell alongside the payload lets the parent match results
+    from an unordered pool ``imap`` back to cache keys without bookkeeping in
+    the worker.
+    """
+    workload = _workload(cell.workload)
+    cost_model = _cost_model(cell.cost_model)
+    algorithm = get_algorithm(cell.algorithm, **cell.options())
+    result = algorithm.run(workload, cost_model)
+    row_cost, column_cost = baseline_costs_for(workload, cost_model)
+    return cell, result_to_payload(result, workload, row_cost, column_cost)

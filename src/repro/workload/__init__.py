@@ -13,14 +13,17 @@ This package provides the inputs a vertical partitioning algorithm works on:
 
 Concrete benchmark workloads live in :mod:`repro.workload.tpch` (the 22-query
 TPC-H benchmark used throughout the paper), :mod:`repro.workload.ssb` (the
-Star Schema Benchmark used in Table 5) and :mod:`repro.workload.synthetic`
-(random workload generators used by the test suite).
+Star Schema Benchmark used in Table 5), :mod:`repro.workload.synthetic`
+(random workload generators used by the test suite), and the parameterised
+scenario generators :mod:`repro.workload.star` (synthetic SSB-style star
+schemas) and :mod:`repro.workload.telemetry` (wide-sparse telemetry tables)
+used by the comparison grid.
 """
 
 from repro.workload.schema import Column, TableSchema
 from repro.workload.query import Query
 from repro.workload.workload import Workload
-from repro.workload import tpch, ssb, synthetic
+from repro.workload import tpch, ssb, star, synthetic, telemetry
 
 __all__ = [
     "Column",
@@ -29,5 +32,7 @@ __all__ = [
     "Workload",
     "tpch",
     "ssb",
+    "star",
     "synthetic",
+    "telemetry",
 ]

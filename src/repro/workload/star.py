@@ -1,0 +1,150 @@
+"""Parameterised star-schema (SSB-style) workload generator.
+
+The fixed Star Schema Benchmark lives in :mod:`repro.workload.ssb`; this
+module generates *synthetic* star schemas whose shape can be dialled — number
+of dimensions, number of measures, row count — so the comparison grid can
+widen its scenario coverage beyond the two published benchmarks.
+
+The generated workload mimics SSB's structure on the fact table:
+
+* the schema is a fact table with one foreign-key column per dimension, a
+  block of numeric measure columns, and a few wide descriptive columns
+  (priority/mode strings) that make column grouping decisions non-trivial;
+* queries come in *flights* (SSB's Q1.x ... Q4.x): each flight fixes a subset
+  of the dimension keys and a couple of measures, and the queries within a
+  flight drill down by adding one more dimension key each — so queries inside
+  a flight have strongly overlapping footprints while different flights
+  overlap only partially, the access pattern that lets wider column groups
+  pay off (paper Table 5).
+
+All generators take an integer seed (or :class:`numpy.random.Generator`) and
+are fully deterministic for a given seed, which the grid runner's content-hash
+cache relies on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.workload.query import Query
+from repro.workload.schema import Column, TableSchema
+from repro.workload.synthetic import RandomState, _rng
+from repro.workload.workload import Workload
+
+#: Byte widths of the generated measure columns, cycled in order (decimal,
+#: int, decimal, ... mirroring SSB's revenue/quantity/discount mix).
+_MEASURE_WIDTHS = (8, 4, 8, 4, 8)
+
+#: (name, width) of the descriptive tail columns appended after the measures.
+_DESCRIPTIVE_COLUMNS = (("priority", 15), ("shipmode", 10), ("comment", 40))
+
+
+def star_fact_schema(
+    num_dimensions: int = 4,
+    num_measures: int = 9,
+    row_count: int = 6_000_000,
+    name: str = "star_fact",
+) -> TableSchema:
+    """The fact table of a synthetic star schema.
+
+    Columns, in order: ``orderkey``/``linenumber`` (the composite key),
+    one ``d<i>_key`` per dimension, ``m<i>`` measures, then the fixed
+    descriptive tail.
+    """
+    if num_dimensions < 1:
+        raise ValueError("num_dimensions must be >= 1")
+    if num_measures < 1:
+        raise ValueError("num_measures must be >= 1")
+    columns: List[Column] = [
+        Column(name="orderkey", width=4, sql_type="int"),
+        Column(name="linenumber", width=4, sql_type="int"),
+    ]
+    for d in range(num_dimensions):
+        columns.append(Column(name=f"d{d + 1}_key", width=4, sql_type="int"))
+    for m in range(num_measures):
+        width = _MEASURE_WIDTHS[m % len(_MEASURE_WIDTHS)]
+        sql_type = "decimal" if width == 8 else "int"
+        columns.append(Column(name=f"m{m + 1}", width=width, sql_type=sql_type))
+    for col_name, width in _DESCRIPTIVE_COLUMNS:
+        columns.append(Column(name=col_name, width=width, sql_type=f"char({width})"))
+    return TableSchema(name=name, columns=columns, row_count=row_count)
+
+
+def star_workload(
+    num_dimensions: int = 4,
+    num_measures: int = 9,
+    flights: int = 4,
+    queries_per_flight: int = 3,
+    row_count: int = 6_000_000,
+    random_state: RandomState = 0,
+    name: str = "star",
+    schema: Optional[TableSchema] = None,
+) -> Workload:
+    """An SSB-style flight workload on the fact table of a synthetic star schema.
+
+    Each flight draws a starting set of dimension keys and measures; query
+    ``j`` of a flight adds ``j`` further dimension keys (the drill-down).
+    Flight 1 additionally references the descriptive tail with one query, as
+    SSB's report-style queries do.  Earlier flights carry higher weights
+    (reports run more often than ad-hoc drill-downs).
+    """
+    if flights < 1 or queries_per_flight < 1:
+        raise ValueError("flights and queries_per_flight must be >= 1")
+    if schema is None:
+        schema = star_fact_schema(
+            num_dimensions=num_dimensions,
+            num_measures=num_measures,
+            row_count=row_count,
+        )
+    rng = _rng(random_state)
+    dimension_names = [f"d{d + 1}_key" for d in range(num_dimensions)]
+    measure_names = [f"m{m + 1}" for m in range(num_measures)]
+    descriptive_names = [col_name for col_name, _ in _DESCRIPTIVE_COLUMNS]
+
+    queries: List[Query] = []
+    for flight in range(flights):
+        start_dims = int(rng.integers(1, max(2, num_dimensions // 2) + 1))
+        flight_dims = [
+            dimension_names[i]
+            for i in rng.permutation(num_dimensions)
+        ]
+        flight_measures = [
+            measure_names[i]
+            for i in rng.choice(
+                num_measures,
+                size=int(rng.integers(1, min(3, num_measures) + 1)),
+                replace=False,
+            )
+        ]
+        weight = float(flights - flight)
+        for step in range(queries_per_flight):
+            depth = min(num_dimensions, start_dims + step)
+            attributes = flight_dims[:depth] + flight_measures
+            if flight == 0 and step == queries_per_flight - 1:
+                attributes = attributes + descriptive_names
+            queries.append(
+                Query(
+                    name=f"F{flight + 1}.{step + 1}",
+                    attributes=attributes,
+                    weight=weight,
+                )
+            )
+    return Workload(schema=schema, queries=queries, name=name)
+
+
+def tiny_star_workload(random_state: RandomState = 0) -> Workload:
+    """A small preset (9 attributes) sized for smoke grids and CI."""
+    return star_workload(
+        num_dimensions=2,
+        num_measures=2,
+        flights=3,
+        queries_per_flight=2,
+        row_count=1_000_000,
+        random_state=random_state,
+        name="star-tiny",
+    )
+
+
+def default_star_workload(random_state: RandomState = 0) -> Workload:
+    """The default preset: an SSB-like 18-attribute fact table."""
+    return star_workload(random_state=random_state, name="star-default")

@@ -1,0 +1,163 @@
+"""Unit tests for the grid result cache: trust, corruption, staleness."""
+
+import json
+
+import pytest
+
+from repro.cost.hdd import HDDCostModel
+from repro.grid.cache import (
+    ResultCache,
+    canonical_json,
+    cell_inputs,
+    content_key,
+    deterministic_payload,
+    workload_fingerprint,
+)
+from repro.workload.query import Query
+from repro.workload.schema import Column, TableSchema
+from repro.workload.workload import Workload
+
+
+@pytest.fixture
+def workload():
+    schema = TableSchema(
+        "t", [Column("a", 4), Column("b", 8), Column("c", 16)], 50_000
+    )
+    return Workload(
+        schema,
+        [Query("Q1", ["a", "b"], weight=2.0), Query("Q2", ["c"])],
+        name="cache-test",
+    )
+
+
+@pytest.fixture
+def inputs(workload):
+    return cell_inputs(
+        "hillclimb", {}, "custom:cache-test", workload, "hdd", HDDCostModel()
+    )
+
+
+PAYLOAD = {
+    "algorithm": "hillclimb",
+    "layout": [["a", "b"], ["c"]],
+    "estimated_cost": 1.25,
+    "timing": {"optimization_time": 0.004},
+}
+
+
+class TestContentKey:
+    def test_key_is_stable_across_processes(self, inputs):
+        # Pure function of content — recomputing yields the same digest.
+        assert content_key(inputs) == content_key(json.loads(canonical_json(inputs)))
+
+    def test_key_changes_with_any_input(self, workload, inputs):
+        key = content_key(inputs)
+        for variation in (
+            cell_inputs("autopart", {}, "custom:cache-test", workload, "hdd", HDDCostModel()),
+            cell_inputs("hillclimb", {"naive_costing": True}, "custom:cache-test",
+                        workload, "hdd", HDDCostModel()),
+            cell_inputs("hillclimb", {}, "custom:cache-test", workload, "mm",
+                        HDDCostModel(buffer_sharing="equal")),
+        ):
+            assert content_key(variation) != key
+
+    def test_key_changes_with_workload_content(self, workload, inputs):
+        reweighted = Workload(
+            workload.schema,
+            [Query("Q1", ["a", "b"], weight=3.0), Query("Q2", ["c"])],
+            name="cache-test",
+        )
+        changed = cell_inputs(
+            "hillclimb", {}, "custom:cache-test", reweighted, "hdd", HDDCostModel()
+        )
+        assert content_key(changed) != content_key(inputs)
+
+    def test_fingerprint_covers_schema_and_queries(self, workload):
+        fingerprint = workload_fingerprint(workload)
+        assert fingerprint["schema"]["row_count"] == 50_000
+        assert fingerprint["schema"]["columns"] == [["a", 4], ["b", 8], ["c", 16]]
+        assert [q[0] for q in fingerprint["queries"]] == ["Q1", "Q2"]
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path, inputs):
+        cache = ResultCache(tmp_path)
+        key = content_key(inputs)
+        assert cache.load(key) is None
+        cache.store(key, inputs, PAYLOAD)
+        assert cache.load(key) == PAYLOAD
+        assert cache.misses == 1 and cache.hits == 1 and cache.stores == 1
+
+    def test_cached_payload_is_byte_identical(self, tmp_path, inputs):
+        cache = ResultCache(tmp_path)
+        key = content_key(inputs)
+        cache.store(key, inputs, PAYLOAD)
+        loaded = ResultCache(tmp_path).load(key)
+        assert canonical_json(loaded).encode() == canonical_json(PAYLOAD).encode()
+
+    def test_unparseable_entry_is_recomputed_not_trusted(self, tmp_path, inputs):
+        cache = ResultCache(tmp_path)
+        key = content_key(inputs)
+        cache.store(key, inputs, PAYLOAD)
+        cache.path_for(key).write_text("{ not json", encoding="utf-8")
+        fresh = ResultCache(tmp_path)
+        assert fresh.load(key) is None
+        assert fresh.corrupt == 1
+        # Overwriting repairs the entry.
+        fresh.store(key, inputs, PAYLOAD)
+        assert fresh.load(key) == PAYLOAD
+
+    def test_tampered_payload_fails_checksum(self, tmp_path, inputs):
+        cache = ResultCache(tmp_path)
+        key = content_key(inputs)
+        cache.store(key, inputs, PAYLOAD)
+        path = cache.path_for(key)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["payload"]["estimated_cost"] = 0.0  # silent corruption
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        fresh = ResultCache(tmp_path)
+        assert fresh.load(key) is None
+        assert fresh.corrupt == 1
+
+    def test_stale_inputs_fail_key_check(self, tmp_path, inputs, workload):
+        cache = ResultCache(tmp_path)
+        key = content_key(inputs)
+        cache.store(key, inputs, PAYLOAD)
+        path = cache.path_for(key)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        # An entry computed from *different* inputs parked under this key
+        # (e.g. a hand-copied file) must not be trusted.
+        entry["inputs"]["algorithm"] = "autopart"
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        fresh = ResultCache(tmp_path)
+        assert fresh.load(key) is None
+        assert fresh.stale == 1
+
+    def test_wrong_format_version_misses(self, tmp_path, inputs):
+        cache = ResultCache(tmp_path)
+        key = content_key(inputs)
+        cache.store(key, inputs, PAYLOAD)
+        path = cache.path_for(key)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["format"] = 999
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        fresh = ResultCache(tmp_path)
+        assert fresh.load(key) is None
+
+    def test_statistics_and_describe(self, tmp_path, inputs):
+        cache = ResultCache(tmp_path)
+        key = content_key(inputs)
+        cache.load(key)
+        cache.store(key, inputs, PAYLOAD)
+        cache.load(key)
+        assert cache.lookups == 2
+        assert cache.hit_rate == 0.5
+        assert "50.0% hit rate" in cache.describe()
+
+
+class TestDeterministicPayload:
+    def test_strips_only_timing(self):
+        view = deterministic_payload(PAYLOAD)
+        assert "timing" not in view
+        assert view["estimated_cost"] == PAYLOAD["estimated_cost"]
+        assert set(PAYLOAD) - set(view) == {"timing"}

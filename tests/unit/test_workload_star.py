@@ -1,0 +1,82 @@
+"""Unit tests for the synthetic star-schema workload generator."""
+
+import pytest
+
+from repro.workload.star import (
+    default_star_workload,
+    star_fact_schema,
+    star_workload,
+    tiny_star_workload,
+)
+
+
+class TestStarFactSchema:
+    def test_column_layout(self):
+        schema = star_fact_schema(num_dimensions=3, num_measures=2, row_count=1000)
+        names = schema.attribute_names
+        assert names[:2] == ("orderkey", "linenumber")
+        assert names[2:5] == ("d1_key", "d2_key", "d3_key")
+        assert names[5:7] == ("m1", "m2")
+        assert names[7:] == ("priority", "shipmode", "comment")
+        assert schema.row_count == 1000
+
+    def test_measure_widths_cycle(self):
+        schema = star_fact_schema(num_dimensions=1, num_measures=6)
+        widths = [schema.width_of(schema.index_of(f"m{i + 1}")) for i in range(6)]
+        assert widths == [8, 4, 8, 4, 8, 8]
+
+    def test_invalid_shapes_raise(self):
+        with pytest.raises(ValueError):
+            star_fact_schema(num_dimensions=0)
+        with pytest.raises(ValueError):
+            star_fact_schema(num_measures=0)
+        with pytest.raises(ValueError):
+            star_workload(flights=0)
+
+
+class TestStarWorkload:
+    def test_deterministic_for_a_seed(self):
+        first = star_workload(random_state=7)
+        second = star_workload(random_state=7)
+        assert [q.attribute_indices for q in first] == [
+            q.attribute_indices for q in second
+        ]
+        assert [q.weight for q in first] == [q.weight for q in second]
+        different = star_workload(random_state=8)
+        assert [q.attribute_indices for q in first] != [
+            q.attribute_indices for q in different
+        ]
+
+    def test_flight_structure(self):
+        workload = star_workload(flights=3, queries_per_flight=2, random_state=0)
+        assert workload.query_count == 6
+        names = [q.name for q in workload]
+        assert names == ["F1.1", "F1.2", "F2.1", "F2.2", "F3.1", "F3.2"]
+        # Earlier flights run more often.
+        assert workload.query("F1.1").weight > workload.query("F3.1").weight
+
+    def test_drilldown_grows_footprints_within_a_flight(self):
+        workload = star_workload(
+            num_dimensions=6, flights=2, queries_per_flight=3, random_state=1
+        )
+        for flight in (1, 2):
+            sizes = [
+                len(workload.query(f"F{flight}.{step}").attribute_indices)
+                for step in (1, 2, 3)
+            ]
+            assert sizes == sorted(sizes)
+            # Consecutive drill-downs extend the previous footprint.
+            inner = workload.query(f"F{flight}.1").index_set
+            outer = workload.query(f"F{flight}.2").index_set
+            assert inner <= outer
+
+    def test_presets(self):
+        tiny = tiny_star_workload()
+        assert tiny.attribute_count == 9
+        assert tiny.name == "star-tiny"
+        default = default_star_workload()
+        assert default.attribute_count == 18
+        # Presets are deterministic (the grid cache depends on this).
+        assert [q.attribute_indices for q in tiny_star_workload()] == [
+            q.attribute_indices for q in tiny
+        ]

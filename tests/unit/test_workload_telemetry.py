@@ -1,0 +1,74 @@
+"""Unit tests for the wide-sparse telemetry workload generator."""
+
+import pytest
+
+from repro.workload.telemetry import (
+    small_telemetry_workload,
+    telemetry_schema,
+    telemetry_workload,
+    wide_telemetry_workload,
+)
+
+
+class TestTelemetrySchema:
+    def test_spine_plus_channels(self):
+        schema = telemetry_schema(num_channels=5, row_count=1000)
+        assert schema.attribute_names[:3] == ("ts", "device_id", "site")
+        assert schema.attribute_names[3:] == ("s1", "s2", "s3", "s4", "s5")
+        assert schema.row_count == 1000
+
+    def test_channel_widths_come_from_telemetry_encodings(self):
+        schema = telemetry_schema(num_channels=50, random_state=3)
+        widths = {schema.width_of(i) for i in range(3, schema.attribute_count)}
+        assert widths <= {4, 8, 32}
+
+    def test_invalid_shapes_raise(self):
+        with pytest.raises(ValueError):
+            telemetry_schema(num_channels=0)
+        with pytest.raises(ValueError):
+            telemetry_workload(num_panels=0)
+        with pytest.raises(ValueError):
+            telemetry_workload(min_panel_channels=5, max_panel_channels=2)
+
+
+class TestTelemetryWorkload:
+    def test_deterministic_for_a_seed(self):
+        first = telemetry_workload(random_state=11)
+        second = telemetry_workload(random_state=11)
+        assert first.schema == second.schema
+        assert [q.attribute_indices for q in first] == [
+            q.attribute_indices for q in second
+        ]
+
+    def test_every_panel_reads_the_spine(self):
+        workload = telemetry_workload(num_channels=20, num_panels=8, random_state=2)
+        for query in workload:
+            assert {0, 1, 2} <= query.index_set
+
+    def test_footprints_are_sparse(self):
+        workload = telemetry_workload(
+            num_channels=40, num_panels=10, max_panel_channels=5, random_state=0
+        )
+        # No panel reads more than the spine plus its cluster and one outlier.
+        for query in workload:
+            assert len(query.index_set) <= 3 + 5 + 1
+        # Most channels are untouched — the wide-sparse property.
+        assert len(workload.unreferenced_attributes()) > 40 // 3
+
+    def test_hot_panels_carry_the_weight(self):
+        workload = telemetry_workload(
+            num_panels=6, hot_panels=2, hot_weight=10.0, random_state=4
+        )
+        weights = [q.weight for q in workload]
+        assert weights[:2] == [10.0, 10.0]
+        assert weights[2:] == [1.0] * 4
+
+    def test_presets(self):
+        small = small_telemetry_workload()
+        assert small.attribute_count == 13
+        assert small.name == "telemetry-small"
+        wide = wide_telemetry_workload()
+        assert wide.attribute_count == 43
+        assert [q.attribute_indices for q in small_telemetry_workload()] == [
+            q.attribute_indices for q in small
+        ]
