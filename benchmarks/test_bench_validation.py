@@ -1,0 +1,55 @@
+"""Smoke bench: the estimated-vs-measured validation experiment.
+
+Runs the Figure-3-shaped validation (docs/EXECUTION.md) on synthetic TPC-H,
+prints the estimated and measured runtimes side by side, and asserts the
+headline agreement claim the backend exists to defend: rank correlation
+between predicted and measured runtimes of at least 0.9, with tight relative
+errors.  Non-blocking like the rest of the harness, but a correlation drop
+here means a cost-model or executor change broke the agreement the paper's
+credibility rests on.
+"""
+
+from conftest import run_once
+
+from repro.experiments.report import format_table
+from repro.experiments.validation import (
+    agreement_summary,
+    estimated_vs_measured_runtimes,
+    validation_reports,
+)
+
+#: Kept small so the smoke stays in seconds: two tables, four algorithms.
+TABLES = ("partsupp", "supplier")
+ALGORITHMS = ("autopart", "hillclimb", "navathe", "o2p")
+MEASURED_ROWS = 5_000
+
+
+def test_bench_estimated_vs_measured_validation(benchmark):
+    reports = run_once(
+        benchmark,
+        validation_reports,
+        tables=TABLES,
+        scale_factor=0.1,
+        algorithms=ALGORITHMS,
+        rows=MEASURED_ROWS,
+    )
+
+    rows = estimated_vs_measured_runtimes(reports)
+    print()
+    print(
+        format_table(
+            rows, title="Estimated vs measured workload runtimes (Figure 3 shape)"
+        )
+    )
+    summary = agreement_summary(reports)
+    print(
+        f"pooled rank correlation: {summary['rank_correlation']:.4f} over "
+        f"{summary['layouts_validated']} layouts, "
+        f"worst |rel err| {summary['max_absolute_relative_error'] * 100:.2f}%"
+    )
+
+    assert summary["layouts_validated"] == len(TABLES) * (len(ALGORITHMS) + 2)
+    assert summary["rank_correlation"] >= 0.9
+    assert summary["max_absolute_relative_error"] <= 0.05
+    for table, stats in summary["per_table"].items():
+        assert stats["rank_correlation"] >= 0.9, table

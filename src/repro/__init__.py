@@ -31,7 +31,11 @@ The public surface re-exported here:
   :class:`~repro.online.controller.AdaptiveAdvisor`; see ``docs/ONLINE.md``);
 * the comparison-grid subsystem — :mod:`repro.grid` (declarative
   algorithm x workload x cost model grids, parallel execution, persistent
-  content-hash result cache; ``python -m repro.grid``, see ``docs/GRID.md``).
+  content-hash result cache; ``python -m repro.grid``, see ``docs/GRID.md``);
+* the measured-execution backend — :mod:`repro.exec` (vectorized scan
+  executor over numpy-materialised layouts, estimated-vs-measured validation
+  via :meth:`~repro.core.advisor.LayoutAdvisor.validate_costs` and
+  ``python -m repro.grid --backend measured``; see ``docs/EXECUTION.md``).
 """
 
 from repro.workload import Column, Query, TableSchema, Workload
@@ -52,6 +56,7 @@ from repro.core import (
     row_partitioning,
 )
 from repro import algorithms, grid, metrics, online
+from repro import exec as exec_backend  # "exec" shadows the builtin if imported bare
 
 __version__ = "1.0.0"
 
@@ -80,5 +85,6 @@ __all__ = [
     "grid",
     "metrics",
     "online",
+    "exec_backend",
     "__version__",
 ]

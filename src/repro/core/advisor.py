@@ -221,6 +221,51 @@ class LayoutAdvisor:
         )
         return run_policy(stream, policy, self.cost_model)
 
+    # -- measured validation ---------------------------------------------------
+
+    def validate_costs(
+        self,
+        workload: Workload,
+        rows: Optional[int] = None,
+        data_seed: int = 0,
+        include_baselines: bool = True,
+        algorithms: Optional[Sequence[str]] = None,
+    ):
+        """Validate this advisor's estimated costs against measured execution.
+
+        Runs every configured algorithm on ``workload`` (exactly as
+        :meth:`recommend` does), then executes each recommended layout — plus
+        the Row and Column baselines unless ``include_baselines`` is False —
+        on the vectorized scan executor (:mod:`repro.exec`) at ``rows``
+        measured rows of seed-``data_seed`` synthetic data, and compares the
+        measured I/O times with the cost model's predictions at the same
+        scale.  Returns the
+        :class:`~repro.exec.validation.CostValidationReport`; its
+        ``rank_correlation`` near 1.0 means every comparative conclusion the
+        estimates support survives execution.  Requires a disk-based cost
+        model (the main-memory model has no buffered-scan counterpart).
+        """
+        # Imported here to avoid a circular import at package load time.
+        from repro.exec.validation import require_measurable, validate_layouts
+
+        require_measurable(self.cost_model)
+        names = tuple(algorithms) if algorithms is not None else self.algorithm_names
+        layouts: Dict[str, Partitioning] = {}
+        for name in names:
+            options = dict(self.algorithm_options.get(name, {}))
+            algorithm = get_algorithm(name, **options)
+            layouts[name] = algorithm.run(workload, self.cost_model).partitioning
+        if include_baselines:
+            layouts.setdefault("row", row_partitioning(workload.schema))
+            layouts.setdefault("column", column_partitioning(workload.schema))
+        return validate_layouts(
+            workload,
+            layouts,
+            cost_model=self.cost_model,
+            rows=rows,
+            data_seed=data_seed,
+        )
+
     # -- multiple workloads ----------------------------------------------------
 
     def recommend_all(

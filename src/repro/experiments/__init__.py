@@ -30,7 +30,10 @@ Table 7         :func:`repro.experiments.dbms_x_experiment.dbms_x_runtimes`
 
 Beyond the paper's figures, :func:`repro.experiments.adaptive.adaptive_policy_comparison`
 drives the dynamic-workload scenario (``docs/ONLINE.md``): online policies on
-a drifting query stream, charged cumulative scan + re-organisation cost.
+a drifting query stream, charged cumulative scan + re-organisation cost, and
+:mod:`repro.experiments.validation` re-derives Figure 3's *measured* shape by
+executing every algorithm's layout on the vectorized scan backend
+(``docs/EXECUTION.md``) and comparing against the estimates.
 """
 
 from repro.experiments.runner import (
@@ -49,6 +52,7 @@ from repro.experiments import (
     layouts,
     dbms_x_experiment,
     adaptive,
+    validation,
 )
 from repro.experiments.report import format_table, format_percentage
 
@@ -66,6 +70,7 @@ __all__ = [
     "layouts",
     "dbms_x_experiment",
     "adaptive",
+    "validation",
     "format_table",
     "format_percentage",
 ]

@@ -26,6 +26,7 @@ semantics and worker-pool sizing.
 """
 
 from repro.grid.spec import (
+    BACKENDS,
     BUILTIN_GRIDS,
     GridCell,
     GridError,
@@ -38,9 +39,14 @@ from repro.grid.spec import (
 )
 from repro.grid.cache import ResultCache, content_key, deterministic_payload
 from repro.grid.runner import CellResult, GridReport, run_grid
-from repro.grid.aggregate import headline_tables
+from repro.grid.aggregate import (
+    agreement_rows,
+    agreement_summary_rows,
+    headline_tables,
+)
 
 __all__ = [
+    "BACKENDS",
     "BUILTIN_GRIDS",
     "GridCell",
     "GridError",
@@ -57,4 +63,6 @@ __all__ = [
     "GridReport",
     "run_grid",
     "headline_tables",
+    "agreement_rows",
+    "agreement_summary_rows",
 ]

@@ -15,6 +15,14 @@ The four headline views mirror the paper's evaluation axes:
   the I/O buffer shrinks 100x after the fact (HDD cells only: the main-memory
   model has no buffer to shrink).
 
+Measured-backend runs add two more views (Figure 3 / Table 7 in spirit):
+
+* **estimated vs measured** — per cell, the model's prediction at measured
+  scale against the executor's traced I/O time, with the relative error;
+* **agreement by algorithm** — per algorithm, mean/max |relative error| and
+  the Spearman rank correlation between predicted and measured runtimes
+  across that algorithm's cells, plus a pooled ``(all)`` row.
+
 All aggregation is computed from cached payloads (plus cheap local re-costing
 for fragility), so a fully cached grid run reproduces its tables without
 running a single algorithm.
@@ -28,6 +36,11 @@ from repro.cost.hdd import HDDCostModel
 from repro.experiments.report import format_table
 from repro.grid.spec import resolve_cost_model, resolve_workload
 from repro.grid.worker import payload_layout
+from repro.metrics.agreement import (
+    max_absolute_relative_error,
+    mean_absolute_relative_error,
+    spearman_rank_correlation,
+)
 from repro.metrics.fragility import fragility as fragility_metric
 from repro.metrics.payoff import payoff_fraction
 from repro.workload.workload import Workload
@@ -171,6 +184,67 @@ def cross_model_rows(results: Sequence["CellResult"]) -> List[Dict[str, object]]
     ]
 
 
+def _measured_cells(results: Sequence["CellResult"]) -> List["CellResult"]:
+    """The cells carrying a supported measured section."""
+    return [result for result in results if result.measured is not None]
+
+
+def agreement_rows(results: Sequence["CellResult"]) -> List[Dict[str, object]]:
+    """One row per measured cell: prediction, measurement, relative error."""
+    rows = []
+    for result in _measured_cells(results):
+        measured = result.measured
+        rows.append(
+            {
+                "workload": result.cell.workload,
+                "cost model": result.cell.cost_model,
+                "algorithm": result.cell.algorithm,
+                "rows": measured["rows"],
+                "predicted (s)": measured["predicted_seconds"],
+                "measured (s)": measured["measured_io_seconds"],
+                "rel err %": 100.0 * measured["relative_error"],
+                "blocks": measured["blocks_read"],
+                "seeks": measured["seeks"],
+            }
+        )
+    return rows
+
+
+def agreement_summary_rows(
+    results: Sequence["CellResult"],
+) -> List[Dict[str, object]]:
+    """Per-algorithm agreement: error statistics and rank correlation.
+
+    Each algorithm's correlation ranks its own cells (does the model order
+    this algorithm's workloads the way execution does); the final ``(all)``
+    row pools every measured cell.
+    """
+    measured = _measured_cells(results)
+    by_algorithm: Dict[str, List["CellResult"]] = {}
+    for result in measured:
+        by_algorithm.setdefault(result.cell.algorithm, []).append(result)
+
+    def _summary(label: str, cells: Sequence["CellResult"]) -> Dict[str, object]:
+        pairs = [
+            (c.measured["predicted_seconds"], c.measured["measured_io_seconds"])
+            for c in cells
+        ]
+        return {
+            "algorithm": label,
+            "cells": len(cells),
+            "rank corr": spearman_rank_correlation(
+                [p for p, _ in pairs], [m for _, m in pairs]
+            ),
+            "mean |err| %": 100.0 * mean_absolute_relative_error(pairs),
+            "max |err| %": 100.0 * max_absolute_relative_error(pairs),
+        }
+
+    rows = [_summary(name, cells) for name, cells in sorted(by_algorithm.items())]
+    if len(by_algorithm) > 1:
+        rows.append(_summary("(all)", measured))
+    return rows
+
+
 def headline_tables(results: Sequence["CellResult"]) -> str:
     """The four headline tables rendered as aligned plain text."""
     sections = [
@@ -186,5 +260,15 @@ def headline_tables(results: Sequence["CellResult"]) -> str:
     if len({result.cell.cost_model for result in results}) > 1:
         sections.append(
             format_table(cross_model_rows(results), title="Cross-model comparison")
+        )
+    agreement = agreement_rows(results)
+    if agreement:
+        sections.append(
+            format_table(agreement, title="Estimated vs measured agreement")
+        )
+        sections.append(
+            format_table(
+                agreement_summary_rows(results), title="Agreement by algorithm"
+            )
         )
     return "\n\n".join(sections)

@@ -4,6 +4,10 @@ Every cell result is stored as one JSON file whose name is the SHA-256 hash of
 the cell's *resolved inputs*: the algorithm name and options, the cost model's
 id and parameter fingerprint, and the workload's id plus its full content
 (schema columns, row count, every query's footprint, weight and selectivity).
+Measured-backend cells additionally hash their execution fingerprint — the
+measured row count, the synthetic data seed and the executor's disk
+characteristics — so a change to any of them is a cache miss, never a stale
+hit (see :func:`execution_fingerprint`).
 Hashing resolved content — not just ids — means the cache invalidates itself
 when anything that could change a result changes: a generator producing
 different queries, a rescaled table, a retuned cost model.  The ids stay in
@@ -96,6 +100,34 @@ def cost_model_fingerprint(cost_model_id: str, cost_model: CostModel) -> Dict[st
     return {"id": cost_model_id, "parameters": cost_model.describe()}
 
 
+def execution_fingerprint(
+    measurement: Mapping[str, object], cost_model: CostModel, workload: Workload
+) -> Dict[str, object]:
+    """Everything that can change a *measured* cell's result beyond the
+    estimated inputs: the measured scale, the synthetic data seed, and the
+    disk characteristics the executor prices its traced I/O with.
+
+    The fingerprinted row count is the *effective* one — the requested count
+    capped at the schema's, exactly as the executor caps it — so two requests
+    that execute identically (e.g. 50k and 100k rows of a 20k-row table)
+    share one entry.  The disk is already part of the cost model's parameter
+    fingerprint for built-in models, but it is repeated here explicitly: the
+    executor reads it off the model object, so a custom model whose
+    ``describe()`` omitted disk parameters would otherwise let two different
+    disks share one measured entry.
+    """
+    from repro.exec.executor import measured_disk
+    from repro.grid.spec import resolve_measurement
+
+    settings = resolve_measurement(measurement)
+    disk = measured_disk(cost_model)
+    return {
+        "rows": max(1, min(settings["rows"], workload.schema.row_count)),
+        "data_seed": settings["data_seed"],
+        "disk": disk.describe() if disk is not None else None,
+    }
+
+
 def cell_inputs(
     algorithm: str,
     algorithm_options: Mapping[str, object],
@@ -103,9 +135,18 @@ def cell_inputs(
     workload: Workload,
     cost_model_id: str,
     cost_model: CostModel,
+    backend: str = "estimated",
+    measurement: Optional[Mapping[str, object]] = None,
 ) -> Dict[str, object]:
-    """The complete, hashable input description of one grid cell."""
-    return {
+    """The complete, hashable input description of one grid cell.
+
+    Estimated cells hash exactly the same inputs as before the measured
+    backend existed, so pre-existing cache entries stay valid.  Measured
+    cells add the backend marker and the execution fingerprint — a measured
+    result computed from one data seed, measured row count or disk must never
+    be served for another.
+    """
+    inputs = {
         "format": FORMAT_VERSION,
         "algorithm": algorithm,
         "algorithm_options": dict(algorithm_options),
@@ -113,6 +154,12 @@ def cell_inputs(
         "workload": workload_fingerprint(workload),
         "cost_model": cost_model_fingerprint(cost_model_id, cost_model),
     }
+    if backend != "estimated":
+        inputs["backend"] = backend
+        inputs["execution"] = execution_fingerprint(
+            measurement or {}, cost_model, workload
+        )
+    return inputs
 
 
 def deterministic_payload(payload: Mapping[str, object]) -> Dict[str, object]:

@@ -5,6 +5,11 @@ from explicit axes (``--algorithms``, ``--workloads``, ``--cost-models``) —
 against a persistent result cache and prints the cache accounting followed by
 the headline tables.  A second identical invocation is served almost entirely
 from the cache; an interrupted run resumes where it stopped.
+
+``--backend measured`` additionally executes every cell's layout on the
+vectorized scan executor (``--measured-rows`` rows of seed ``--data-seed``
+synthetic data) and appends the estimated-vs-measured agreement tables; see
+``docs/EXECUTION.md``.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ import sys
 from typing import List, Optional
 
 from repro.grid.runner import run_grid
-from repro.grid.spec import BUILTIN_GRIDS, GridError, GridSpec, builtin_grid
+from repro.grid.spec import BACKENDS, BUILTIN_GRIDS, GridError, GridSpec, builtin_grid
 
 #: Cache location used when the caller does not pass ``--cache-dir``.
 DEFAULT_CACHE_DIR = ".grid-cache"
@@ -47,6 +52,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated cost model ids overriding the builtin grid's axis",
     )
     parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="estimated",
+        help=(
+            "cell backend: 'estimated' (analytical costs only) or 'measured' "
+            "(also execute each layout on the vectorized scan executor and "
+            "report estimated-vs-measured agreement)"
+        ),
+    )
+    parser.add_argument(
+        "--measured-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="measured backend: row count tables are materialised at "
+        "(default: the executor's default)",
+    )
+    parser.add_argument(
+        "--data-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="measured backend: synthetic data seed (default: 0)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -75,6 +105,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _measurement_from_args(args: argparse.Namespace) -> Optional[dict]:
+    measurement = {}
+    if args.measured_rows is not None:
+        measurement["rows"] = args.measured_rows
+    if args.data_seed is not None:
+        measurement["data_seed"] = args.data_seed
+    return measurement or None
+
+
 def _spec_from_args(args: argparse.Namespace) -> GridSpec:
     base = builtin_grid(args.grid)
     overrides = {}
@@ -82,16 +121,24 @@ def _spec_from_args(args: argparse.Namespace) -> GridSpec:
         raw = getattr(args, axis)
         if raw:
             overrides[axis] = tuple(part.strip() for part in raw.split(",") if part.strip())
-    if not overrides:
+    if (args.measured_rows is not None or args.data_seed is not None) and (
+        args.backend != "measured"
+    ):
+        raise GridError("--measured-rows/--data-seed require --backend measured")
+    if not overrides and args.backend == "estimated":
         return base
+    suffixes = [name for name, used in (("custom", bool(overrides)),
+                                        ("measured", args.backend == "measured")) if used]
     return GridSpec(
-        name=f"{base.name}+custom",
+        name="+".join([base.name] + suffixes),
         algorithms=overrides.get("algorithms", base.algorithms),
         workloads=overrides.get("workloads", base.workloads),
         cost_models=overrides.get("cost_models", base.cost_models),
         algorithm_options=dict(
             (name, dict(options)) for name, options in base.algorithm_options
         ),
+        backend=args.backend,
+        measurement=_measurement_from_args(args),
     )
 
 

@@ -52,6 +52,18 @@ class CellResult:
         """The layout as tuples of attribute names (canonical order)."""
         return [tuple(group) for group in self.payload["layout"]]
 
+    @property
+    def measured(self) -> Optional[Dict[str, object]]:
+        """The measured-execution section, or ``None``.
+
+        ``None`` for estimated-backend cells and for measured cells whose
+        cost model has no buffered-scan counterpart (e.g. main-memory).
+        """
+        measured = self.payload.get("measured")
+        if isinstance(measured, dict) and measured.get("supported"):
+            return measured
+        return None
+
 
 @dataclass
 class GridReport:
@@ -147,6 +159,8 @@ def run_grid(
             workloads[cell.workload],
             cell.cost_model,
             cost_models[cell.cost_model],
+            backend=cell.backend,
+            measurement=cell.measurement_options(),
         )
         inputs_by_cell[cell] = inputs
         keys_by_cell[cell] = content_key(inputs)

@@ -23,6 +23,15 @@ Cost model ids: ``hdd`` (paper testbed disk), ``hdd:equal`` (equal buffer
 sharing ablation), ``hdd:small-buffer`` (80 KB buffer, the paper's fragility
 stress), ``mainmemory`` (cache-miss model of Table 6).  Custom workloads and
 models register via :func:`register_workload` / :func:`register_cost_model`.
+
+Cells come in two *backends*: ``"estimated"`` (the default — the cell's
+numbers are analytical cost-model outputs, exactly as before) and
+``"measured"`` — each cell additionally executes its computed layout on the
+vectorized scan executor (:mod:`repro.exec`) and records the
+estimated-vs-measured agreement.  Measured cells carry ``measurement``
+settings (``rows``: measured row count, ``data_seed``: synthetic data seed);
+together with the cost model's disk characteristics these are part of the
+cell's cache identity (see :func:`repro.grid.cache.cell_inputs`).
 """
 
 from __future__ import annotations
@@ -43,6 +52,60 @@ class GridError(ValueError):
 
 # -- cells and specs -----------------------------------------------------------
 
+#: Valid cell backends: purely analytical, or analytical plus a measured
+#: execution of the computed layout on the vectorized scan executor.
+BACKENDS = ("estimated", "measured")
+
+#: Valid keys of the measured backend's settings.
+MEASUREMENT_KEYS = ("rows", "data_seed")
+
+
+def canonical_measurement(
+    measurement: Optional[Mapping[str, object]],
+) -> Tuple[Tuple[str, int], ...]:
+    """Validate measured-backend settings and return the canonical tuple form."""
+    if not measurement:
+        return ()
+    unknown = set(measurement) - set(MEASUREMENT_KEYS)
+    if unknown:
+        raise GridError(
+            f"unknown measurement settings {sorted(unknown)}; "
+            f"valid: {sorted(MEASUREMENT_KEYS)}"
+        )
+    canonical = []
+    for key in MEASUREMENT_KEYS:
+        if key in measurement:
+            try:
+                value = int(measurement[key])
+            except (TypeError, ValueError):
+                raise GridError(
+                    f"measurement setting {key!r} must be an integer, "
+                    f"got {measurement[key]!r}"
+                ) from None
+            if key == "rows" and value < 1:
+                raise GridError("measurement setting 'rows' must be >= 1")
+            canonical.append((key, value))
+    return tuple(canonical)
+
+
+def resolve_measurement(
+    measurement: Optional[Mapping[str, object]],
+) -> Dict[str, int]:
+    """Measurement settings with defaults applied — the executed values.
+
+    The same resolution is used to fingerprint measured cells
+    (:func:`repro.grid.cache.cell_inputs`) and to execute them
+    (:mod:`repro.grid.worker`), so an explicit setting equal to its default
+    hashes identically to the default.
+    """
+    from repro.exec.executor import DEFAULT_MEASURED_ROWS
+
+    settings = dict(measurement or {})
+    return {
+        "rows": int(settings.get("rows", DEFAULT_MEASURED_ROWS)),
+        "data_seed": int(settings.get("data_seed", 0)),
+    }
+
 
 @dataclass(frozen=True)
 class GridCell:
@@ -54,15 +117,27 @@ class GridCell:
     #: Algorithm constructor options in canonical (sorted) tuple form so the
     #: cell stays hashable; use :meth:`options` for the dict view.
     algorithm_options: Tuple[Tuple[str, object], ...] = ()
+    #: Cell backend: ``"estimated"`` or ``"measured"``.
+    backend: str = "estimated"
+    #: Measured-backend settings in canonical tuple form; use
+    #: :meth:`measurement_options` for the dict view.
+    measurement: Tuple[Tuple[str, int], ...] = ()
 
     @property
     def label(self) -> str:
         """Compact display form, e.g. ``hillclimb/tpch:partsupp@0.1/hdd``."""
-        return f"{self.algorithm}/{self.workload}/{self.cost_model}"
+        base = f"{self.algorithm}/{self.workload}/{self.cost_model}"
+        if self.backend != "estimated":
+            return f"{base} [{self.backend}]"
+        return base
 
     def options(self) -> Dict[str, object]:
         """The algorithm constructor options as a plain dict."""
         return dict(self.algorithm_options)
+
+    def measurement_options(self) -> Dict[str, int]:
+        """The measured-backend settings as a plain dict (without defaults)."""
+        return dict(self.measurement)
 
 
 @dataclass(frozen=True)
@@ -71,7 +146,10 @@ class GridSpec:
 
     ``algorithm_options`` maps algorithm name to constructor options applied
     to every cell of that algorithm (the same convention as
-    :class:`~repro.core.advisor.LayoutAdvisor`).
+    :class:`~repro.core.advisor.LayoutAdvisor`).  ``backend`` selects the
+    cell kind for the whole grid (``"estimated"`` or ``"measured"``);
+    ``measurement`` carries the measured backend's ``rows`` / ``data_seed``
+    settings.
     """
 
     name: str
@@ -79,6 +157,8 @@ class GridSpec:
     workloads: Tuple[str, ...]
     cost_models: Tuple[str, ...]
     algorithm_options: Tuple[Tuple[str, Tuple[Tuple[str, object], ...]], ...] = ()
+    backend: str = "estimated"
+    measurement: Tuple[Tuple[str, int], ...] = ()
 
     def __init__(
         self,
@@ -87,6 +167,8 @@ class GridSpec:
         workloads: Sequence[str],
         cost_models: Sequence[str],
         algorithm_options: Optional[Mapping[str, Mapping[str, object]]] = None,
+        backend: str = "estimated",
+        measurement: Optional[Mapping[str, object]] = None,
     ) -> None:
         if not algorithms or not workloads or not cost_models:
             raise GridError("a grid needs at least one algorithm, workload and cost model")
@@ -97,6 +179,12 @@ class GridSpec:
         ):
             if len(set(axis)) != len(axis):
                 raise GridError(f"grid axis {axis_name!r} contains duplicates")
+        if backend not in BACKENDS:
+            raise GridError(
+                f"unknown backend {backend!r}; available: {list(BACKENDS)}"
+            )
+        if measurement and backend != "measured":
+            raise GridError("measurement settings require backend='measured'")
         canonical_options = tuple(
             sorted(
                 (algorithm, tuple(sorted(options.items())))
@@ -108,6 +196,8 @@ class GridSpec:
         object.__setattr__(self, "workloads", tuple(workloads))
         object.__setattr__(self, "cost_models", tuple(cost_models))
         object.__setattr__(self, "algorithm_options", canonical_options)
+        object.__setattr__(self, "backend", backend)
+        object.__setattr__(self, "measurement", canonical_measurement(measurement))
 
     @property
     def cell_count(self) -> int:
@@ -133,18 +223,37 @@ class GridSpec:
                 workload=workload,
                 cost_model=cost_model,
                 algorithm_options=self.options_for(algorithm),
+                backend=self.backend,
+                measurement=self.measurement,
             )
             for workload in self.workloads
             for cost_model in self.cost_models
             for algorithm in self.algorithms
         ]
 
+    def with_backend(
+        self, backend: str, measurement: Optional[Mapping[str, object]] = None
+    ) -> "GridSpec":
+        """The same grid under a different backend (e.g. ``"measured"``)."""
+        return GridSpec(
+            name=self.name,
+            algorithms=self.algorithms,
+            workloads=self.workloads,
+            cost_models=self.cost_models,
+            algorithm_options={
+                name: dict(options) for name, options in self.algorithm_options
+            },
+            backend=backend,
+            measurement=measurement,
+        )
+
     def describe(self) -> str:
         """One-line shape summary."""
+        suffix = "" if self.backend == "estimated" else f" ({self.backend} backend)"
         return (
             f"grid {self.name!r}: {self.cell_count} cells = "
             f"{len(self.algorithms)} algorithms x {len(self.workloads)} workloads "
-            f"x {len(self.cost_models)} cost models"
+            f"x {len(self.cost_models)} cost models{suffix}"
         )
 
 

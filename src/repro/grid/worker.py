@@ -27,7 +27,19 @@ from repro.core.partitioning import (
 from repro.cost.base import CostModel
 from repro.cost.creation import estimate_creation_time
 from repro.cost.evaluator import enable_cache_sharing
-from repro.grid.spec import GridCell, resolve_cost_model, resolve_workload
+from repro.exec.executor import (
+    VectorizedScanExecutor,
+    measured_buffer_sharing,
+    measured_disk,
+    unwrap_cost_model,
+)
+from repro.grid.spec import (
+    GridCell,
+    resolve_cost_model,
+    resolve_measurement,
+    resolve_workload,
+)
+from repro.metrics.agreement import relative_error
 from repro.metrics.quality import (
     average_reconstruction_joins,
     improvement_over,
@@ -38,10 +50,14 @@ from repro.workload.workload import Workload
 # Per-process memos; populated lazily, valid for the worker's lifetime.  The
 # baseline memo is keyed by content (the workload itself plus the model's
 # parameter description), not by id, so re-registering an id with different
-# content can never serve stale baseline costs.
+# content can never serve stale baseline costs.  The measured-data memo is
+# keyed by (schema, requested rows, data seed) — generation is fully
+# determined by those, so every algorithm cell sharing a workload reuses one
+# generated dataset instead of regenerating byte-identical arrays.
 _workloads: Dict[str, Workload] = {}
 _cost_models: Dict[str, CostModel] = {}
 _baselines: Dict[Tuple[Workload, str], Tuple[float, float]] = {}
+_measured_data: Dict[Tuple[object, int, int], Dict[str, object]] = {}
 
 
 def initialize_worker() -> None:
@@ -142,6 +158,60 @@ def payload_layout(payload: Dict[str, object], workload: Workload) -> Partitioni
     return partitioning_from_names(workload.schema, payload["layout"])
 
 
+def attach_measured_section(
+    payload: Dict[str, object],
+    workload: Workload,
+    partitioning: Partitioning,
+    cost_model: CostModel,
+    measurement: Dict[str, int],
+) -> None:
+    """Execute the cell's layout on the vectorized backend, record agreement.
+
+    The deterministic part of the measurement — traced blocks/seeks, the
+    modeled I/O seconds, the data checksum, the prediction at measured scale
+    and their relative error — goes into ``payload["measured"]``, which the
+    cache content-hashes.  Measured wall-clock CPU time is genuinely
+    non-deterministic and joins the ``timing`` section instead.
+
+    Models without disk characteristics (e.g. the main-memory model) have no
+    buffered-scan counterpart to measure; their cells record why instead of
+    pretending.
+    """
+    inner = unwrap_cost_model(cost_model)
+    disk = measured_disk(cost_model)
+    if disk is None:
+        payload["measured"] = {
+            "supported": False,
+            "reason": f"cost model {inner.describe()} has no disk to execute against",
+        }
+        return
+    settings = resolve_measurement(measurement)
+    data_key = (workload.schema, settings["rows"], settings["data_seed"])
+    executor = VectorizedScanExecutor(
+        partitioning,
+        disk=disk,
+        rows=settings["rows"],
+        buffer_sharing=measured_buffer_sharing(cost_model),
+        data_seed=settings["data_seed"],
+        data=_measured_data.get(data_key),
+    )
+    _measured_data.setdefault(data_key, executor.data)
+    run = executor.execute_workload(workload)
+    predicted = executor.predicted_cost(workload, inner)
+    payload["measured"] = {
+        "supported": True,
+        "rows": executor.rows,
+        "data_seed": settings["data_seed"],
+        "predicted_seconds": predicted,
+        "measured_io_seconds": run.io_seconds,
+        "relative_error": relative_error(predicted, run.io_seconds),
+        "blocks_read": run.blocks_read,
+        "seeks": run.seeks,
+        "data_checksum": run.checksum,
+    }
+    payload["timing"]["measured_cpu_seconds"] = run.cpu_seconds
+
+
 def execute_cell(cell: GridCell) -> Tuple[GridCell, Dict[str, object]]:
     """Run one cell and return ``(cell, payload)``.
 
@@ -154,4 +224,10 @@ def execute_cell(cell: GridCell) -> Tuple[GridCell, Dict[str, object]]:
     algorithm = get_algorithm(cell.algorithm, **cell.options())
     result = algorithm.run(workload, cost_model)
     row_cost, column_cost = baseline_costs_for(workload, cost_model)
-    return cell, result_to_payload(result, workload, row_cost, column_cost)
+    payload = result_to_payload(result, workload, row_cost, column_cost)
+    if cell.backend == "measured":
+        attach_measured_section(
+            payload, workload, result.partitioning, cost_model,
+            cell.measurement_options(),
+        )
+    return cell, payload

@@ -15,6 +15,11 @@ used in the evaluation figures:
   parameter value, normalised to the column layout
   (:mod:`repro.metrics.fragility`, re-optimising variant), plus the pay-off
   metric of Appendix A.1 (:mod:`repro.metrics.payoff`).
+
+Beyond the paper's four axes, :mod:`repro.metrics.agreement` measures how well
+the estimates hold up against the measured-execution backend
+(:mod:`repro.exec`): rank correlation and relative error between predicted
+and measured runtimes.
 """
 
 from repro.metrics.quality import (
@@ -27,6 +32,12 @@ from repro.metrics.quality import (
 )
 from repro.metrics.fragility import fragility, normalized_cost
 from repro.metrics.payoff import payoff_fraction
+from repro.metrics.agreement import (
+    max_absolute_relative_error,
+    mean_absolute_relative_error,
+    relative_error,
+    spearman_rank_correlation,
+)
 
 __all__ = [
     "bytes_read",
@@ -38,4 +49,8 @@ __all__ = [
     "fragility",
     "normalized_cost",
     "payoff_fraction",
+    "spearman_rank_correlation",
+    "relative_error",
+    "mean_absolute_relative_error",
+    "max_absolute_relative_error",
 ]

@@ -1,0 +1,107 @@
+"""Estimated-vs-measured agreement metrics.
+
+The paper's credibility argument (Figure 3's workload runtimes, Table 7's
+DBMS-X numbers) is that the analytical cost model *agrees* with what a real
+execution measures.  Two aspects of agreement matter and are measured
+separately:
+
+* **Ranking** — does the model order layouts/cells the same way execution
+  does?  :func:`spearman_rank_correlation` (with average ranks for ties); a
+  correlation near 1.0 means every comparative conclusion drawn from
+  estimates (algorithm A beats B, layout X beats Column) survives
+  measurement.
+* **Magnitude** — how far off is each individual prediction?
+  :func:`relative_error` per pair, :func:`mean_absolute_relative_error` over
+  a set of pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+
+def _average_ranks(values: Sequence[float]) -> List[float]:
+    """Ranks (1-based), ties receiving the average of their positions."""
+    order = sorted(range(len(values)), key=lambda index: values[index])
+    ranks = [0.0] * len(values)
+    position = 0
+    while position < len(order):
+        tied_end = position
+        while (
+            tied_end + 1 < len(order)
+            and values[order[tied_end + 1]] == values[order[position]]
+        ):
+            tied_end += 1
+        average = (position + tied_end) / 2.0 + 1.0
+        for tied in range(position, tied_end + 1):
+            ranks[order[tied]] = average
+        position = tied_end + 1
+    return ranks
+
+
+def spearman_rank_correlation(
+    predicted: Sequence[float], measured: Sequence[float]
+) -> float:
+    """Spearman's rho between two paired value sequences.
+
+    Computed as the Pearson correlation of average ranks (the tie-correct
+    form).  Degenerate inputs are resolved in favour of agreement: fewer than
+    two pairs, or a constant sequence on either side, yield 1.0 — with no
+    variation there is no ranking left to disagree about.
+    """
+    if len(predicted) != len(measured):
+        raise ValueError(
+            f"paired sequences must have equal length, got "
+            f"{len(predicted)} and {len(measured)}"
+        )
+    n = len(predicted)
+    if n < 2:
+        return 1.0
+    ranks_p = _average_ranks(predicted)
+    ranks_m = _average_ranks(measured)
+    mean_p = sum(ranks_p) / n
+    mean_m = sum(ranks_m) / n
+    covariance = sum(
+        (p - mean_p) * (m - mean_m) for p, m in zip(ranks_p, ranks_m)
+    )
+    variance_p = sum((p - mean_p) ** 2 for p in ranks_p)
+    variance_m = sum((m - mean_m) ** 2 for m in ranks_m)
+    if variance_p == 0.0 or variance_m == 0.0:
+        return 1.0
+    return covariance / math.sqrt(variance_p * variance_m)
+
+
+def relative_error(predicted: float, measured: float) -> float:
+    """Signed relative error of a prediction: ``(measured - predicted) / predicted``.
+
+    Positive means the measurement came in above the prediction.  A zero
+    prediction with a zero measurement is a perfect prediction (0.0); a zero
+    prediction with a non-zero measurement is infinitely wrong.
+    """
+    if predicted == 0.0:
+        return 0.0 if measured == 0.0 else math.inf
+    return (measured - predicted) / predicted
+
+
+def mean_absolute_relative_error(
+    pairs: Iterable[Tuple[float, float]]
+) -> float:
+    """Mean of ``|relative_error|`` over ``(predicted, measured)`` pairs.
+
+    Returns 0.0 for an empty input (no predictions, no error).
+    """
+    errors = [abs(relative_error(p, m)) for p, m in pairs]
+    if not errors:
+        return 0.0
+    return sum(errors) / len(errors)
+
+
+def max_absolute_relative_error(
+    pairs: Iterable[Tuple[float, float]]
+) -> float:
+    """Worst ``|relative_error|`` over ``(predicted, measured)`` pairs."""
+    errors = [abs(relative_error(p, m)) for p, m in pairs]
+    if not errors:
+        return 0.0
+    return max(errors)

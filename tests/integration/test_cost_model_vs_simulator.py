@@ -66,6 +66,58 @@ class TestModelMatchesSimulator:
         assert simulated == pytest.approx(predicted, rel=0.15)
 
 
+#: Buffer sweep: from buffers small enough that every partition refills many
+#: times, through the paper's 8 MB default, to one that swallows whole files.
+SWEEP_BUFFERS = (64 * KB, 256 * KB, 1 * MB, 8 * MB, 64 * MB)
+
+#: Partition-count sweep over partsupp's 5 attributes: 1 (row) to 5 (column).
+SWEEP_LAYOUTS = {
+    1: [[0, 1, 2, 3, 4]],
+    2: [[0, 1, 4], [2, 3]],
+    3: [[0, 1], [2, 3], [4]],
+    4: [[0], [1], [2, 3], [4]],
+    5: [[0], [1], [2], [3], [4]],
+}
+
+
+@pytest.mark.parametrize("buffer_size", SWEEP_BUFFERS)
+@pytest.mark.parametrize("partition_count", sorted(SWEEP_LAYOUTS))
+class TestSimulationAgreementSweep:
+    """Regression: simulated elapsed time tracks the analytical cost tightly.
+
+    The simulator and the model share their arithmetic building blocks but
+    derive seek counts by different mechanisms (an actual buffered walk vs.
+    closed formulas), so agreement here pins down the refill/seek accounting
+    across the whole (buffer size x partition count) plane.  The bound is
+    float-accumulation tight — any formula drift fails loudly.
+    """
+
+    REL_TOLERANCE = 1e-9
+
+    def test_engine_elapsed_matches_query_cost(
+        self, workload, buffer_size, partition_count
+    ):
+        disk = DiskCharacteristics(buffer_size=buffer_size)
+        layout = Partitioning(workload.schema, SWEEP_LAYOUTS[partition_count])
+        model = HDDCostModel(disk)
+        engine = StorageEngine(layout, disk=SimulatedDisk(disk))
+        for query in workload:
+            predicted = model.query_cost(query, layout)
+            simulated = engine.scan_query(query).io_seconds
+            assert simulated == pytest.approx(predicted, rel=self.REL_TOLERANCE)
+
+    def test_engine_workload_total_matches_workload_cost(
+        self, workload, buffer_size, partition_count
+    ):
+        disk = DiskCharacteristics(buffer_size=buffer_size)
+        layout = Partitioning(workload.schema, SWEEP_LAYOUTS[partition_count])
+        model = HDDCostModel(disk)
+        engine = StorageEngine(layout, disk=SimulatedDisk(disk))
+        predicted = model.workload_cost(workload, layout)
+        simulated = engine.scan_workload(workload).io_seconds
+        assert simulated == pytest.approx(predicted, rel=self.REL_TOLERANCE)
+
+
 class TestRelativeOrderings:
     def test_simulator_agrees_on_row_vs_column_ordering(self, workload):
         disk = DiskCharacteristics()

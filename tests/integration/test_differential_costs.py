@@ -1,0 +1,99 @@
+"""Randomized differential test of every algorithm's reported cost.
+
+Guards the ``CostEvaluator`` exactness invariant (docs/PERFORMANCE.md) from
+the outside: on ~50 seeded random small schemas/workloads, for all six
+algorithms plus brute force,
+
+* the cost each algorithm *reports* for its best layout must equal a fresh
+  un-memoized ``CostModel.workload_cost`` recomputation on a brand-new model
+  instance — bit for bit, not approximately (both sides run the same float
+  arithmetic in the same canonical order, so any divergence means a caching
+  or ordering bug in the kernel, not rounding), and
+* no algorithm may beat the exact brute-force enumeration (over raw
+  attributes, the true lower bound) — an algorithm "improving" on the
+  optimum means it evaluated candidates under a different cost function than
+  it reported.
+
+Schemas are kept at 4–6 attributes so the exact enumeration stays trivial
+(Bell(6) = 203 candidates) while widths, row counts, footprints and weights
+vary freely.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import get_algorithm
+from repro.cost.evaluator import CostEvaluator
+from repro.cost.hdd import HDDCostModel
+from repro.workload.query import Query
+from repro.workload.synthetic import random_workload, synthetic_table
+
+SEEDS = range(50)
+
+ALGORITHMS = ("autopart", "hillclimb", "hyrise", "navathe", "o2p", "trojan")
+
+#: Exact optimum: enumerate raw attributes, no primary-partition collapsing.
+BRUTE_FORCE_OPTIONS = {"collapse_primary_partitions": False}
+
+
+def _random_case(seed: int):
+    """One seeded (workload, cost model) pair with varied shape."""
+    rng = np.random.default_rng(seed)
+    schema = synthetic_table(
+        num_attributes=int(rng.integers(4, 7)),
+        row_count=int(rng.integers(20_000, 500_000)),
+        min_width=2,
+        max_width=48,
+        name=f"diff_{seed}",
+        random_state=rng,
+    )
+    workload = random_workload(
+        schema,
+        num_queries=int(rng.integers(3, 7)),
+        random_state=rng,
+        name=f"diff-wl-{seed}",
+    )
+    # Vary the weights so weighted summation order matters.
+    reweighted = [
+        Query(
+            name=query.name,
+            attributes=[schema.attribute_names[i] for i in query.attribute_indices],
+            weight=float(rng.integers(1, 5)),
+        )
+        for query in workload
+    ]
+    return type(workload)(schema, reweighted, name=workload.name)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_reported_costs_are_exact_and_bounded_by_brute_force(seed):
+    workload = _random_case(seed)
+    optimal = get_algorithm("brute-force", **BRUTE_FORCE_OPTIONS).run(
+        workload, HDDCostModel()
+    )
+    # Brute force itself must report an exactly-recomputable cost.
+    fresh_optimal = HDDCostModel().workload_cost(workload, optimal.partitioning)
+    assert optimal.estimated_cost == fresh_optimal
+
+    for name in ALGORITHMS:
+        result = get_algorithm(name).run(workload, HDDCostModel())
+        # A brand-new model instance, no evaluator, no shared caches: the
+        # reported cost must be reproducible from scratch, exactly.
+        fresh = HDDCostModel().workload_cost(workload, result.partitioning)
+        assert result.estimated_cost == fresh, (
+            f"{name} reported {result.estimated_cost!r} but a fresh "
+            f"recomputation gives {fresh!r} (seed {seed})"
+        )
+        # The memoized kernel must agree with the naive path on the same
+        # layout, bit for bit.
+        kernel = CostEvaluator(workload, HDDCostModel()).evaluate(
+            result.partitioning.as_masks()
+        )
+        assert kernel == fresh, (
+            f"{name}: kernel cost {kernel!r} != naive cost {fresh!r} (seed {seed})"
+        )
+        # Nothing beats the exact enumeration.
+        assert fresh >= fresh_optimal * (1.0 - 1e-12), (
+            f"{name} cost {fresh!r} beats brute force {fresh_optimal!r} "
+            f"(seed {seed})"
+        )

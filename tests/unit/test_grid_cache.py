@@ -4,7 +4,10 @@ import json
 
 import pytest
 
+from repro.cost.disk import DiskCharacteristics, KB
 from repro.cost.hdd import HDDCostModel
+from repro.cost.mainmemory import MainMemoryCostModel
+from repro.exec.executor import DEFAULT_MEASURED_ROWS
 from repro.grid.cache import (
     ResultCache,
     canonical_json,
@@ -153,6 +156,107 @@ class TestResultCache:
         assert cache.lookups == 2
         assert cache.hit_rate == 0.5
         assert "50.0% hit rate" in cache.describe()
+
+
+class TestMeasuredCellStaleness:
+    """A measured result computed from one data seed / scale / disk must be a
+    cache miss — never a stale hit — for any other."""
+
+    def _measured_inputs(self, workload, model=None, **measurement):
+        return cell_inputs(
+            "hillclimb", {}, "custom:cache-test", workload, "hdd",
+            model if model is not None else HDDCostModel(),
+            backend="measured", measurement=measurement,
+        )
+
+    def test_changed_data_seed_is_a_miss(self, tmp_path, workload):
+        cache = ResultCache(tmp_path)
+        seed0 = self._measured_inputs(workload, data_seed=0)
+        key0 = content_key(seed0)
+        cache.store(key0, seed0, PAYLOAD)
+        key1 = content_key(self._measured_inputs(workload, data_seed=1))
+        assert key1 != key0
+        assert cache.load(key1) is None
+        assert cache.misses == 1 and cache.stale == 0
+
+    def test_changed_measured_scale_is_a_miss(self, tmp_path, workload):
+        cache = ResultCache(tmp_path)
+        small = self._measured_inputs(workload, rows=2_000)
+        cache.store(content_key(small), small, PAYLOAD)
+        big = content_key(self._measured_inputs(workload, rows=4_000))
+        assert big != content_key(small)
+        assert cache.load(big) is None
+
+    def test_changed_disk_characteristics_are_a_miss(self, workload):
+        default = self._measured_inputs(workload)
+        shrunk = self._measured_inputs(
+            workload,
+            model=HDDCostModel(DiskCharacteristics(buffer_size=80 * KB)),
+        )
+        assert content_key(default) != content_key(shrunk)
+        # The execution fingerprint itself names the disk, independently of
+        # the cost-model parameter fingerprint.
+        assert default["execution"]["disk"] != shrunk["execution"]["disk"]
+
+    def test_explicit_defaults_hash_like_omitted_defaults(self, workload):
+        implicit = self._measured_inputs(workload)
+        explicit = self._measured_inputs(
+            workload, rows=DEFAULT_MEASURED_ROWS, data_seed=0
+        )
+        assert content_key(implicit) == content_key(explicit)
+
+    def test_rows_beyond_the_schema_hash_like_the_cap(self, workload):
+        # The executor caps at the schema's 50k rows, so two requests above
+        # the cap execute identically and must share one entry.
+        over_a = self._measured_inputs(workload, rows=60_000)
+        over_b = self._measured_inputs(workload, rows=90_000)
+        at_cap = self._measured_inputs(workload, rows=50_000)
+        assert content_key(over_a) == content_key(over_b) == content_key(at_cap)
+        # Below the cap the requested count is the effective one.
+        assert content_key(self._measured_inputs(workload, rows=10_000)) != (
+            content_key(at_cap)
+        )
+
+    def test_measured_and_estimated_never_share_an_entry(self, workload):
+        estimated = cell_inputs(
+            "hillclimb", {}, "custom:cache-test", workload, "hdd", HDDCostModel()
+        )
+        measured = self._measured_inputs(workload)
+        assert content_key(estimated) != content_key(measured)
+
+    def test_estimated_inputs_are_unchanged_by_the_backend_field(self, workload):
+        # Backwards compatibility: estimated cells must hash exactly the
+        # pre-measured-backend inputs so existing caches stay valid.
+        inputs = cell_inputs(
+            "hillclimb", {}, "custom:cache-test", workload, "hdd", HDDCostModel(),
+            backend="estimated", measurement={},
+        )
+        assert "backend" not in inputs and "execution" not in inputs
+
+    def test_diskless_models_fingerprint_without_a_disk(self, workload):
+        inputs = cell_inputs(
+            "hillclimb", {}, "custom:cache-test", workload, "mainmemory",
+            MainMemoryCostModel(), backend="measured", measurement={},
+        )
+        assert inputs["execution"]["disk"] is None
+
+    def test_hand_copied_measured_entry_fails_the_stale_check(
+        self, tmp_path, workload
+    ):
+        # The existing corrupt-entry protections extend to measured entries:
+        # an entry whose stored inputs carry a different data seed than its
+        # key claims is rejected as stale, not trusted.
+        cache = ResultCache(tmp_path)
+        inputs = self._measured_inputs(workload, data_seed=0)
+        key = content_key(inputs)
+        cache.store(key, inputs, PAYLOAD)
+        path = cache.path_for(key)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["inputs"]["execution"]["data_seed"] = 1
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        fresh = ResultCache(tmp_path)
+        assert fresh.load(key) is None
+        assert fresh.stale == 1
 
 
 class TestDeterministicPayload:

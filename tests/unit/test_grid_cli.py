@@ -1,0 +1,160 @@
+"""Direct tests for the ``python -m repro.grid`` CLI.
+
+The runner tests exercise the CLI incidentally; this file covers it as a
+surface of its own: argument parsing (defaults, axis overrides, the measured
+backend's flags and their validation), the cache-dir resume path, and the
+``--backend measured`` end-to-end flow including its agreement tables.
+"""
+
+import pytest
+
+from repro.grid.cli import DEFAULT_CACHE_DIR, build_parser, main as grid_main
+from repro.grid.cli import _spec_from_args
+from repro.grid.spec import GridError, register_workload
+from repro.workload.query import Query
+from repro.workload.schema import Column, TableSchema
+from repro.workload.workload import Workload
+
+
+def _cli_workload() -> Workload:
+    schema = TableSchema(
+        "cli_table",
+        [Column("a", 4), Column("b", 8), Column("c", 40), Column("d", 16)],
+        150_000,
+    )
+    return Workload(
+        schema,
+        [
+            Query("Q1", ["a", "b"], weight=2.0),
+            Query("Q2", ["c"]),
+            Query("Q3", ["b", "c", "d"], weight=0.5),
+        ],
+        name="cli-workload",
+    )
+
+
+try:
+    register_workload("cli:unit", _cli_workload)
+except GridError:
+    pass  # already registered by an earlier collection of this module
+
+
+class TestArgumentParsing:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.grid == "small"
+        assert args.backend == "estimated"
+        assert args.workers == 1
+        assert args.cache_dir == DEFAULT_CACHE_DIR
+        assert args.measured_rows is None and args.data_seed is None
+        assert not args.no_cache and not args.refresh and not args.quiet
+
+    def test_axis_overrides_build_a_custom_spec(self):
+        args = build_parser().parse_args(
+            ["--grid", "tiny", "--algorithms", "hillclimb , navathe",
+             "--workloads", "cli:unit", "--cost-models", "hdd"]
+        )
+        spec = _spec_from_args(args)
+        assert spec.name == "tiny+custom"
+        assert spec.algorithms == ("hillclimb", "navathe")
+        assert spec.workloads == ("cli:unit",)
+        assert spec.cost_models == ("hdd",)
+        assert spec.backend == "estimated"
+
+    def test_no_overrides_returns_the_builtin_spec(self):
+        args = build_parser().parse_args(["--grid", "tiny"])
+        spec = _spec_from_args(args)
+        assert spec.name == "tiny"
+
+    def test_measured_backend_flags_reach_the_spec(self):
+        args = build_parser().parse_args(
+            ["--grid", "tiny", "--backend", "measured",
+             "--measured-rows", "3000", "--data-seed", "7"]
+        )
+        spec = _spec_from_args(args)
+        assert spec.name == "tiny+measured"
+        assert spec.backend == "measured"
+        assert dict(spec.measurement) == {"rows": 3000, "data_seed": 7}
+        assert all(cell.backend == "measured" for cell in spec.cells())
+
+    def test_measured_flags_without_measured_backend_are_rejected(self):
+        args = build_parser().parse_args(["--measured-rows", "3000"])
+        with pytest.raises(GridError):
+            _spec_from_args(args)
+
+    def test_unknown_backend_is_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--backend", "guessed"])
+
+
+class TestCacheResume:
+    ARGS = [
+        "--grid", "tiny",
+        "--algorithms", "hillclimb",
+        "--workloads", "cli:unit",
+        "--cost-models", "hdd",
+        "--quiet",
+    ]
+
+    def test_second_invocation_resumes_from_cache(self, tmp_path, capsys):
+        args = self.ARGS + ["--cache-dir", str(tmp_path / "cache")]
+        assert grid_main(args) == 0
+        first = capsys.readouterr().out
+        assert "1 computed" in first
+        assert grid_main(args) == 0
+        second = capsys.readouterr().out
+        assert "100.0% cache hits" in second
+        assert first.split("Layout quality")[1] == second.split("Layout quality")[1]
+
+    def test_refresh_bypasses_the_cache(self, tmp_path, capsys):
+        args = self.ARGS + ["--cache-dir", str(tmp_path / "cache")]
+        assert grid_main(args) == 0
+        capsys.readouterr()
+        assert grid_main(args + ["--refresh"]) == 0
+        assert "1 computed" in capsys.readouterr().out
+
+    def test_progress_lines_name_the_served_cells(self, tmp_path, capsys):
+        args = [a for a in self.ARGS if a != "--quiet"] + [
+            "--cache-dir", str(tmp_path / "cache")
+        ]
+        assert grid_main(args) == 0
+        assert "computed hillclimb/cli:unit/hdd" in capsys.readouterr().out
+        assert grid_main(args) == 0
+        assert "cached   hillclimb/cli:unit/hdd" in capsys.readouterr().out
+
+
+class TestMeasuredBackendFlow:
+    ARGS = [
+        "--grid", "tiny",
+        "--algorithms", "hillclimb,navathe",
+        "--workloads", "cli:unit",
+        "--cost-models", "hdd",
+        "--backend", "measured",
+        "--measured-rows", "2000",
+        "--quiet",
+    ]
+
+    def test_measured_run_prints_agreement_tables(self, tmp_path, capsys):
+        args = self.ARGS + ["--cache-dir", str(tmp_path / "cache")]
+        assert grid_main(args) == 0
+        out = capsys.readouterr().out
+        assert "(measured backend)" in out
+        assert "Estimated vs measured agreement" in out
+        assert "Agreement by algorithm" in out
+
+    def test_measured_cells_resume_and_reproduce_tables(self, tmp_path, capsys):
+        args = self.ARGS + ["--cache-dir", str(tmp_path / "cache")]
+        assert grid_main(args) == 0
+        first = capsys.readouterr().out
+        assert grid_main(args) == 0
+        second = capsys.readouterr().out
+        assert "100.0% cache hits" in second
+        marker = "Estimated vs measured agreement"
+        assert first.split(marker)[1] == second.split(marker)[1]
+
+    def test_changed_data_seed_recomputes(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        assert grid_main(self.ARGS + cache) == 0
+        capsys.readouterr()
+        assert grid_main(self.ARGS + cache + ["--data-seed", "9"]) == 0
+        assert "2 computed" in capsys.readouterr().out
