@@ -284,6 +284,9 @@ class LayoutAdvisor:
         cache_dir: Optional[str] = None,
         workers: int = 1,
         refresh: bool = False,
+        cell_timeout: Optional[float] = None,
+        retries: int = 0,
+        fail_fast: bool = False,
     ):
         """Run a comparison grid (the paper's systematic study) and return its report.
 
@@ -300,6 +303,16 @@ class LayoutAdvisor:
         Returns the :class:`~repro.grid.runner.GridReport`; its
         :meth:`~repro.grid.runner.GridReport.describe` renders the headline
         tables.
+
+        Failures are surfaced, not fatal: by default a cell that keeps
+        raising (after ``retries`` extra attempts), exceeds ``cell_timeout``
+        or loses its worker process is quarantined as a
+        :class:`~repro.grid.runner.CellFailure` on its result — inspect
+        ``report.failures`` / ``report.ok`` — while every other cell
+        completes and is cached.  ``fail_fast=True`` instead aborts on the
+        first exhausted cell with
+        :class:`~repro.grid.spec.GridExecutionError`.  See
+        ``docs/ROBUSTNESS.md``.
         """
         # Imported here to avoid a circular import at package load time.
         from repro.grid import GridSpec, builtin_grid, run_grid
@@ -317,7 +330,13 @@ class LayoutAdvisor:
                 algorithm_options=self.algorithm_options,
             )
         return run_grid(
-            spec, cache_dir=cache_dir, workers=workers, refresh=refresh
+            spec,
+            cache_dir=cache_dir,
+            workers=workers,
+            refresh=refresh,
+            cell_timeout=cell_timeout,
+            retries=retries,
+            fail_fast=fail_fast,
         )
 
 

@@ -15,14 +15,22 @@ incremental:
 * :mod:`repro.grid.worker` — per-process cell execution; workers rebind the
   memoized :class:`~repro.cost.evaluator.CostEvaluator` kernel per schema via
   process-local cache sharing.
-* :mod:`repro.grid.runner` — :func:`run_grid`, the serial/parallel execution
-  loop returning a :class:`GridReport`.
+* :mod:`repro.grid.runner` — :func:`run_grid`, the fault-tolerant
+  serial/parallel execution loop returning a :class:`GridReport`: per-cell
+  retries with deterministic backoff (:class:`RetryPolicy`), per-cell
+  wall-clock timeouts, dead-worker detection and respawn, and failure
+  quarantine (:class:`CellFailure`) with keep-going vs fail-fast semantics.
+* :mod:`repro.grid.faults` — deterministic fault injection
+  (:class:`FaultPlan`): raise / transient / hang / die faults per cell label,
+  installable through the environment so they reach worker processes — the
+  reproducible test harness behind every failure path above.
 * :mod:`repro.grid.aggregate` — cells to headline tables (quality,
-  optimisation time, pay-off, fragility, cross-model).
+  optimisation time, pay-off, fragility, cross-model, failures).
 * :mod:`repro.grid.cli` — the ``python -m repro.grid`` front end.
 
 See ``docs/GRID.md`` for cell hashing, the cache layout on disk, resume
-semantics and worker-pool sizing.
+semantics and worker-pool sizing, and ``docs/ROBUSTNESS.md`` for the failure
+semantics, retry/timeout knobs and the fault-injection reference.
 """
 
 from repro.grid.spec import (
@@ -30,6 +38,7 @@ from repro.grid.spec import (
     BUILTIN_GRIDS,
     GridCell,
     GridError,
+    GridExecutionError,
     GridSpec,
     builtin_grid,
     register_cost_model,
@@ -38,10 +47,18 @@ from repro.grid.spec import (
     resolve_workload,
 )
 from repro.grid.cache import ResultCache, content_key, deterministic_payload
-from repro.grid.runner import CellResult, GridReport, run_grid
+from repro.grid.faults import Fault, FaultPlan, FaultPlanError
+from repro.grid.runner import (
+    CellFailure,
+    CellResult,
+    GridReport,
+    RetryPolicy,
+    run_grid,
+)
 from repro.grid.aggregate import (
     agreement_rows,
     agreement_summary_rows,
+    failure_rows,
     headline_tables,
 )
 
@@ -50,6 +67,7 @@ __all__ = [
     "BUILTIN_GRIDS",
     "GridCell",
     "GridError",
+    "GridExecutionError",
     "GridSpec",
     "builtin_grid",
     "register_workload",
@@ -59,10 +77,16 @@ __all__ = [
     "ResultCache",
     "content_key",
     "deterministic_payload",
+    "Fault",
+    "FaultPlan",
+    "FaultPlanError",
+    "CellFailure",
     "CellResult",
     "GridReport",
+    "RetryPolicy",
     "run_grid",
     "headline_tables",
     "agreement_rows",
     "agreement_summary_rows",
+    "failure_rows",
 ]

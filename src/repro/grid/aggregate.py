@@ -51,11 +51,43 @@ if TYPE_CHECKING:  # imported for type hints only; runner imports this module
 #: Shrink factor of the fragility stress (8 MB -> 80 KB, the paper's Figure 8).
 FRAGILITY_BUFFER_SHRINK = 100
 
+#: Failure messages longer than this are truncated in the failures table.
+_FAILURE_MESSAGE_WIDTH = 72
+
+
+def _ok(results: Sequence["CellResult"]) -> List["CellResult"]:
+    """The successful cells — quarantined failures carry no payload and are
+    reported by :func:`failure_rows` instead of polluting the metric views."""
+    return [result for result in results if result.failure is None]
+
+
+def failure_rows(results: Sequence["CellResult"]) -> List[Dict[str, object]]:
+    """One row per quarantined cell: error kind, attempts spent, message."""
+    rows = []
+    for result in results:
+        failure = result.failure
+        if failure is None:
+            continue
+        message = failure.message
+        if len(message) > _FAILURE_MESSAGE_WIDTH:
+            message = message[: _FAILURE_MESSAGE_WIDTH - 3] + "..."
+        rows.append(
+            {
+                "workload": result.cell.workload,
+                "cost model": result.cell.cost_model,
+                "algorithm": result.cell.algorithm,
+                "error": failure.error_type,
+                "attempts": failure.attempts,
+                "message": message,
+            }
+        )
+    return rows
+
 
 def quality_rows(results: Sequence["CellResult"]) -> List[Dict[str, object]]:
     """One row per cell: cost, improvements, waste, reconstruction joins."""
     rows = []
-    for result in results:
+    for result in _ok(results):
         payload = result.payload
         rows.append(
             {
@@ -76,7 +108,7 @@ def quality_rows(results: Sequence["CellResult"]) -> List[Dict[str, object]]:
 def optimization_time_rows(results: Sequence["CellResult"]) -> List[Dict[str, object]]:
     """One row per cell: wall-clock optimisation time and effort proxy."""
     rows = []
-    for result in results:
+    for result in _ok(results):
         payload = result.payload
         rows.append(
             {
@@ -94,7 +126,7 @@ def optimization_time_rows(results: Sequence["CellResult"]) -> List[Dict[str, ob
 def payoff_rows(results: Sequence["CellResult"]) -> List[Dict[str, object]]:
     """One row per cell: workload executions to amortise the investment."""
     rows = []
-    for result in results:
+    for result in _ok(results):
         payload = result.payload
         optimization_time = payload["timing"]["optimization_time"]
         creation_time = payload["creation_time"]
@@ -133,7 +165,7 @@ def fragility_rows(
     """
     rows = []
     workloads: Dict[str, Workload] = {}
-    for result in results:
+    for result in _ok(results):
         model = resolve_cost_model(result.cell.cost_model)
         if not isinstance(model, HDDCostModel):
             continue
@@ -167,7 +199,7 @@ def cross_model_rows(results: Sequence["CellResult"]) -> List[Dict[str, object]]
     """
     by_key: Dict[tuple, Dict[str, object]] = {}
     model_ids: List[str] = []
-    for result in results:
+    for result in _ok(results):
         if result.cell.cost_model not in model_ids:
             model_ids.append(result.cell.cost_model)
         key = (result.cell.workload, result.cell.algorithm)
@@ -246,7 +278,12 @@ def agreement_summary_rows(
 
 
 def headline_tables(results: Sequence["CellResult"]) -> str:
-    """The four headline tables rendered as aligned plain text."""
+    """The headline tables rendered as aligned plain text.
+
+    Quarantined cells are excluded from every metric view and reported in
+    their own *Failures* table at the end, so a partially failed run still
+    renders all the science its successful cells support.
+    """
     sections = [
         format_table(quality_rows(results), title="Layout quality"),
         format_table(optimization_time_rows(results), title="Optimisation time"),
@@ -270,5 +307,10 @@ def headline_tables(results: Sequence["CellResult"]) -> str:
             format_table(
                 agreement_summary_rows(results), title="Agreement by algorithm"
             )
+        )
+    failures = failure_rows(results)
+    if failures:
+        sections.append(
+            format_table(failures, title="Failures (quarantined cells)")
         )
     return "\n\n".join(sections)

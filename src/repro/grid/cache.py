@@ -49,6 +49,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Dict, Mapping, Optional
 
@@ -173,7 +174,15 @@ def deterministic_payload(payload: Mapping[str, object]) -> Dict[str, object]:
 
 
 class ResultCache:
-    """On-disk JSON cache of grid cell results, keyed by input content hash."""
+    """On-disk JSON cache of grid cell results, keyed by input content hash.
+
+    I/O failures degrade instead of killing the run: a ``store`` that cannot
+    write (read-only root, disk full, root path occupied by a file) and a
+    ``load`` that cannot read (permissions, I/O error) are *counted*, warned
+    about once per cache instance, and otherwise ignored — the grid simply
+    runs cache-less for the affected entries.  A cache is an accelerator; it
+    must never be the reason a multi-hour grid dies.
+    """
 
     def __init__(self, root) -> None:
         self.root = Path(root)
@@ -188,6 +197,27 @@ class ResultCache:
         self.stale = 0
         #: Entries written (fresh computations stored).
         self.stores = 0
+        #: Writes that failed with an ``OSError`` (results kept in memory,
+        #: run continued cache-less).
+        self.store_failures = 0
+        #: Reads that failed with an ``OSError`` other than the entry being
+        #: absent (treated as misses, recomputed).
+        self.load_failures = 0
+        self._io_warned = False
+
+    def _warn_io_failure(self, action: str, error: OSError) -> None:
+        """Warn on the first I/O failure only; later ones just count."""
+        if self._io_warned:
+            return
+        self._io_warned = True
+        warnings.warn(
+            f"result cache {self.root} cannot {action} entries "
+            f"({type(error).__name__}: {error}); continuing without the "
+            f"cache for affected cells — further failures are counted "
+            f"silently (see ResultCache.describe())",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def path_for(self, key: str) -> Path:
         """Where the entry for ``key`` lives (two-level fan-out)."""
@@ -201,8 +231,9 @@ class ResultCache:
         except (FileNotFoundError, NotADirectoryError):
             self.misses += 1
             return None
-        except OSError:
-            self.corrupt += 1
+        except OSError as error:
+            self.load_failures += 1
+            self._warn_io_failure("read", error)
             return None
         try:
             entry = json.loads(raw)
@@ -233,7 +264,13 @@ class ResultCache:
     def store(
         self, key: str, inputs: Mapping[str, object], payload: Mapping[str, object]
     ) -> None:
-        """Atomically persist one entry (overwrites any distrusted leftover)."""
+        """Atomically persist one entry (overwrites any distrusted leftover).
+
+        A write that fails with ``OSError`` (read-only root, disk full, root
+        occupied by a file) is counted in :attr:`store_failures`, warned
+        about once, and swallowed — the result stays usable in memory and the
+        run continues cache-less for this entry.
+        """
         entry = {
             "format": FORMAT_VERSION,
             "key": key,
@@ -244,26 +281,31 @@ class ResultCache:
             ).hexdigest(),
         }
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        handle, temp_path = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
-        )
         try:
-            with os.fdopen(handle, "w", encoding="utf-8") as stream:
-                json.dump(entry, stream, sort_keys=True, indent=1)
-            os.replace(temp_path, path)
-        except BaseException:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle, temp_path = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
+            )
             try:
-                os.unlink(temp_path)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                    json.dump(entry, stream, sort_keys=True, indent=1)
+                os.replace(temp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError as error:
+            self.store_failures += 1
+            self._warn_io_failure("write", error)
+            return
         self.stores += 1
 
     @property
     def lookups(self) -> int:
         """Total lookups answered (hits + all flavours of miss)."""
-        return self.hits + self.misses + self.corrupt + self.stale
+        return self.hits + self.misses + self.corrupt + self.stale + self.load_failures
 
     @property
     def hit_rate(self) -> float:
@@ -275,7 +317,13 @@ class ResultCache:
         rejected = ""
         if self.corrupt or self.stale:
             rejected = f", {self.corrupt} corrupt, {self.stale} stale (recomputed)"
+        degraded = ""
+        if self.store_failures or self.load_failures:
+            degraded = (
+                f", degraded: {self.store_failures} store / "
+                f"{self.load_failures} load I/O failures"
+            )
         return (
             f"cache {self.root}: {self.hits} hits, {self.misses} misses "
-            f"({self.hit_rate * 100:.1f}% hit rate{rejected})"
+            f"({self.hit_rate * 100:.1f}% hit rate{rejected}{degraded})"
         )

@@ -10,6 +10,13 @@ from the cache; an interrupted run resumes where it stopped.
 vectorized scan executor (``--measured-rows`` rows of seed ``--data-seed``
 synthetic data) and appends the estimated-vs-measured agreement tables; see
 ``docs/EXECUTION.md``.
+
+Failure semantics (``docs/ROBUSTNESS.md``): by default the run *keeps going* —
+a cell that exhausts its ``--retries`` budget (or exceeds ``--cell-timeout``,
+or loses its worker process) is quarantined as a failure row in the report and
+the exit code stays 0 with a failure summary on stderr.  ``--fail-fast``
+instead aborts on the first exhausted cell with a non-zero exit code;
+completed cells are already in the cache either way.
 """
 
 from __future__ import annotations
@@ -19,7 +26,14 @@ import sys
 from typing import List, Optional
 
 from repro.grid.runner import run_grid
-from repro.grid.spec import BACKENDS, BUILTIN_GRIDS, GridError, GridSpec, builtin_grid
+from repro.grid.spec import (
+    BACKENDS,
+    BUILTIN_GRIDS,
+    GridError,
+    GridExecutionError,
+    GridSpec,
+    builtin_grid,
+)
 
 #: Cache location used when the caller does not pass ``--cache-dir``.
 DEFAULT_CACHE_DIR = ".grid-cache"
@@ -102,6 +116,52 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress per-cell progress lines (tables are still printed)",
     )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-cell wall-clock budget; an attempt exceeding it has its "
+            "worker killed and the cell retried/quarantined (parallel runs "
+            "only: serial cells cannot be preempted)"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "extra attempts per failing cell, with capped exponential "
+            "backoff and deterministic jitter (default: 0)"
+        ),
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="base delay of the retry backoff schedule (default: 0.05)",
+    )
+    failure_mode = parser.add_mutually_exclusive_group()
+    failure_mode.add_argument(
+        "--keep-going",
+        dest="fail_fast",
+        action="store_false",
+        help=(
+            "quarantine failing cells and finish the grid (default); the "
+            "exit code stays 0 and failures are summarised"
+        ),
+    )
+    failure_mode.add_argument(
+        "--fail-fast",
+        dest="fail_fast",
+        action="store_true",
+        help="abort with a non-zero exit code on the first cell that "
+        "exhausts its attempts",
+    )
+    parser.set_defaults(fail_fast=False)
     return parser
 
 
@@ -152,8 +212,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(str(error))
         return 2  # unreachable; parser.error raises SystemExit
 
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        parser.error("--cell-timeout must be > 0 seconds")
+    if args.cell_timeout is not None and args.workers <= 1:
+        print(
+            "note: --cell-timeout is only enforced with --workers >= 2 "
+            "(serial cells run in-process and cannot be preempted)",
+            file=sys.stderr,
+        )
+
     progress = None if args.quiet else lambda line: print(f"  {line}")
     print(spec.describe())
+    run_options = {}
+    if args.retry_backoff is not None:
+        run_options["retry_backoff"] = args.retry_backoff
     try:
         report = run_grid(
             spec,
@@ -161,11 +235,39 @@ def main(argv: Optional[List[str]] = None) -> int:
             workers=args.workers,
             refresh=args.refresh,
             progress=progress,
+            cell_timeout=args.cell_timeout,
+            retries=args.retries,
+            fail_fast=args.fail_fast,
+            **run_options,
         )
+    except GridExecutionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        print(
+            "fail-fast abort: cells completed before the failure are cached; "
+            "rerun to resume (or rerun with --keep-going to quarantine "
+            "failures instead)",
+            file=sys.stderr,
+        )
+        return 1
     except GridError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     # GridReport.describe() is the single source of the report format; skip
     # its first line (the spec shape) — printed above before the run started.
     print("\n".join(report.describe().splitlines()[1:]))
+    if report.failures:
+        # Keep-going semantics: the run completed and the tables above carry
+        # every successful cell, so the exit code stays 0 — but the failures
+        # are summarised loudly on stderr (they also appear in the Failures
+        # table and are *not* cached: a rerun retries exactly these cells).
+        print(
+            f"warning: {report.failed} of {len(report.results)} cells failed "
+            f"and were quarantined:",
+            file=sys.stderr,
+        )
+        for result in report.failures:
+            print(
+                f"  {result.cell.label}: {result.failure.describe()}",
+                file=sys.stderr,
+            )
     return 0

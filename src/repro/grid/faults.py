@@ -1,0 +1,289 @@
+"""Deterministic fault injection for the grid's robustness machinery.
+
+The fault-tolerance layer (retries, per-cell timeouts, worker-crash recovery,
+failure quarantine — see :mod:`repro.grid.runner` and ``docs/ROBUSTNESS.md``)
+only earns trust if every one of its paths can be exercised *reproducibly*.
+This module is that harness: a :class:`FaultPlan` maps cell labels to
+:class:`Fault` descriptions, and :func:`trigger` fires the described fault at
+the top of the cell's execution, deterministically per ``(cell, attempt)``.
+
+Plans travel through the :data:`ENV_VAR` environment variable as canonical
+JSON, because the cells run in worker *processes*: both ``fork`` and ``spawn``
+children inherit the parent's environment at creation time, so a plan
+installed before ``run_grid`` starts its workers is visible on the far side of
+the process boundary without any extra plumbing.  ``run_grid(faults=...)``
+installs and removes a plan around one run; tests can also use the
+:func:`injected` context manager or set the variable by hand before invoking
+the CLI.
+
+Fault kinds (``kind``):
+
+``raise``
+    Raise :class:`InjectedFaultError` on every attempt — a deterministic bug
+    in a cell.  Exercises quarantine: the cell must become a
+    :class:`~repro.grid.runner.CellFailure`, not abort the run.
+``transient``
+    Raise :class:`TransientInjectedError` on the first ``attempts`` attempts,
+    then execute normally — a flaky cell.  Exercises retries: with enough
+    attempts budgeted the cell must *succeed*, reporting how many tries it
+    took.
+``hang``
+    Sleep ``seconds`` before executing normally — a stuck cell.  Exercises
+    per-cell timeouts: with ``seconds`` beyond the cell timeout the worker is
+    killed and the cell quarantined; below it the cell merely finishes slowly.
+``die``
+    ``os._exit`` without returning a result — a crashed / OOM-killed worker.
+    Exercises dead-worker detection and respawn.  Only meaningful for
+    parallel runs: in a serial (in-process) run this would take the calling
+    process down with it, so the serial path refuses to trigger it and raises
+    :class:`InjectedFaultError` instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+#: Environment variable carrying the installed plan as canonical JSON.
+ENV_VAR = "REPRO_GRID_FAULTS"
+
+#: Valid fault kinds.
+KINDS = ("raise", "transient", "hang", "die")
+
+#: Exit status used by ``die`` faults — distinctive enough to recognise in a
+#: worker's reported exit code.
+DIE_EXIT_CODE = 86
+
+
+class FaultPlanError(ValueError):
+    """Raised when a fault plan (mapping or JSON) does not validate."""
+
+
+class InjectedFaultError(RuntimeError):
+    """The error a ``raise`` fault throws (also ``die`` on the serial path)."""
+
+
+class TransientInjectedError(RuntimeError):
+    """The error a ``transient`` fault throws on its failing attempts."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault: what goes wrong and (where relevant) how much.
+
+    ``attempts`` is read by ``transient`` faults (fail the first N attempts);
+    ``seconds`` by ``hang`` faults (sleep duration).  ``message`` joins the
+    raised error text so tests can assert on it.
+    """
+
+    kind: str
+    attempts: int = 1
+    seconds: float = 0.0
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; valid: {list(KINDS)}"
+            )
+        if self.kind == "transient" and self.attempts < 1:
+            raise FaultPlanError("transient faults need attempts >= 1")
+        if self.kind == "hang" and self.seconds <= 0:
+            raise FaultPlanError("hang faults need seconds > 0")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "seconds": self.seconds,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, object]) -> "Fault":
+        """Build a fault from a plain mapping, validating every field."""
+        if not isinstance(raw, Mapping):
+            raise FaultPlanError(f"a fault must be a mapping, got {raw!r}")
+        unknown = set(raw) - {"kind", "attempts", "seconds", "message"}
+        if unknown:
+            raise FaultPlanError(f"unknown fault fields {sorted(unknown)}")
+        if "kind" not in raw:
+            raise FaultPlanError(f"fault {dict(raw)!r} names no kind")
+        try:
+            return cls(
+                kind=str(raw["kind"]),
+                attempts=int(raw.get("attempts", 1)),
+                seconds=float(raw.get("seconds", 0.0)),
+                message=str(raw.get("message", "injected fault")),
+            )
+        except (TypeError, ValueError) as error:
+            if isinstance(error, FaultPlanError):
+                raise
+            raise FaultPlanError(f"invalid fault {dict(raw)!r}: {error}") from None
+
+
+class FaultPlan:
+    """An immutable mapping from cell label to the fault injected there.
+
+    Labels are matched exactly against :attr:`repro.grid.spec.GridCell.label`
+    (``algorithm/workload/cost_model``, plus `` [measured]`` for measured
+    cells).
+    """
+
+    def __init__(self, faults: Mapping[str, Fault]) -> None:
+        for label, fault in faults.items():
+            if not isinstance(fault, Fault):
+                raise FaultPlanError(
+                    f"plan entry {label!r} is not a Fault: {fault!r}"
+                )
+        self._faults: Dict[str, Fault] = dict(faults)
+
+    @classmethod
+    def from_mapping(cls, raw: Mapping[str, Mapping[str, object]]) -> "FaultPlan":
+        """Build a plan from ``{label: {"kind": ..., ...}}`` plain dicts."""
+        if not isinstance(raw, Mapping):
+            raise FaultPlanError(f"a fault plan must be a mapping, got {raw!r}")
+        return cls(
+            {
+                str(label): fault if isinstance(fault, Fault) else Fault.from_dict(fault)
+                for label, fault in raw.items()
+            }
+        )
+
+    def get(self, label: str) -> Optional[Fault]:
+        """The fault injected at ``label``, or ``None``."""
+        return self._faults.get(label)
+
+    def labels(self) -> Tuple[str, ...]:
+        """The labels the plan injects at, sorted."""
+        return tuple(sorted(self._faults))
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FaultPlan) and self._faults == other._faults
+
+    def to_json(self) -> str:
+        """Canonical JSON form (what :func:`install` puts in the environment)."""
+        return json.dumps(
+            {label: fault.to_dict() for label, fault in self._faults.items()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, raw: str) -> "FaultPlan":
+        """Parse a plan from its JSON form, validating it."""
+        try:
+            decoded = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise FaultPlanError(f"fault plan is not valid JSON: {error}") from None
+        return cls.from_mapping(decoded)
+
+
+def coerce_plan(
+    faults: "FaultPlan | Mapping[str, object] | None",
+) -> Optional[FaultPlan]:
+    """A :class:`FaultPlan` from a plan, a plain mapping, or ``None``."""
+    if faults is None or isinstance(faults, FaultPlan):
+        return faults
+    return FaultPlan.from_mapping(faults)
+
+
+# -- installation and lookup ---------------------------------------------------
+
+#: Parse cache: the last seen raw environment value and its parsed plan, so
+#: every cell execution does not re-parse identical JSON.
+_parsed: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Install ``plan`` into the environment (``None`` uninstalls)."""
+    if plan is None or len(plan) == 0:
+        os.environ.pop(ENV_VAR, None)
+    else:
+        os.environ[ENV_VAR] = plan.to_json()
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently installed plan, parsed from the environment (or ``None``).
+
+    A malformed plan raises :class:`FaultPlanError` loudly — a fault harness
+    that silently ignores a typo would make its tests pass vacuously.
+    """
+    global _parsed
+    raw = os.environ.get(ENV_VAR)
+    if raw is None or not raw.strip():
+        return None
+    cached_raw, cached_plan = _parsed
+    if raw == cached_raw:
+        return cached_plan
+    plan = FaultPlan.from_json(raw)
+    _parsed = (raw, plan)
+    return plan
+
+
+def active_fault(label: str) -> Optional[Fault]:
+    """The installed fault for one cell label, or ``None``."""
+    plan = active_plan()
+    return plan.get(label) if plan is not None else None
+
+
+@contextmanager
+def injected(
+    faults: "FaultPlan | Mapping[str, object] | None",
+) -> Iterator[Optional[FaultPlan]]:
+    """Install a plan for the duration of a ``with`` block, then restore.
+
+    The previous environment value (installed plan or none) is restored on
+    exit, so nested and sequential injections compose.
+    """
+    plan = coerce_plan(faults)
+    previous = os.environ.get(ENV_VAR)
+    install(plan)
+    try:
+        yield plan
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = previous
+
+
+def trigger(fault: Fault, attempt: int, in_process: bool = False) -> None:
+    """Fire ``fault`` for attempt number ``attempt`` (1-based).
+
+    Called at the top of cell execution.  Returns normally when the fault
+    does not apply to this attempt (a ``transient`` past its failing window)
+    or when its effect is a delay (``hang`` — the sleep happens here).
+
+    ``in_process`` marks the serial execution path: a ``die`` fault would
+    ``os._exit`` the *caller's* process there, so it degrades to raising
+    :class:`InjectedFaultError` instead of killing the interpreter running
+    the grid (and, in tests, the test runner).
+    """
+    if fault.kind == "raise":
+        raise InjectedFaultError(fault.message)
+    if fault.kind == "transient":
+        if attempt <= fault.attempts:
+            raise TransientInjectedError(
+                f"{fault.message} (attempt {attempt}/{fault.attempts} injected to fail)"
+            )
+        return
+    if fault.kind == "hang":
+        time.sleep(fault.seconds)
+        return
+    if fault.kind == "die":
+        if in_process:
+            raise InjectedFaultError(
+                f"{fault.message} (die fault degraded to raise: serial runs "
+                f"execute cells in the calling process)"
+            )
+        os._exit(DIE_EXIT_CODE)
+    raise FaultPlanError(f"unknown fault kind {fault.kind!r}")  # pragma: no cover

@@ -50,6 +50,26 @@ class GridError(ValueError):
     """Raised when a grid spec, workload id or cost model id is invalid."""
 
 
+class GridExecutionError(GridError):
+    """Raised under fail-fast when a cell exhausts its attempts.
+
+    Carries the label and failure description of the cell that aborted the
+    run.  Cells completed before the abort were already persisted to the
+    result cache, so a later keep-going (or fixed) invocation resumes rather
+    than restarts.
+    """
+
+    def __init__(self, label: str, error_type: str, message: str, attempts: int) -> None:
+        self.label = label
+        self.error_type = error_type
+        self.message = message
+        self.attempts = attempts
+        super().__init__(
+            f"cell {label} failed after {attempts} attempt(s) "
+            f"[{error_type}: {message}] (fail-fast)"
+        )
+
+
 # -- cells and specs -----------------------------------------------------------
 
 #: Valid cell backends: purely analytical, or analytical plus a measured

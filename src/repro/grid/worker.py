@@ -9,6 +9,14 @@ every cell an algorithm runs on a schema the worker has seen before reuses the
 already-memoized group profiles and co-read costs (cells of one workload are
 adjacent in the grid order precisely to feed this).
 
+Parallel runs are driven by :func:`worker_loop`: each worker is a long-lived
+process holding one end of a duplex pipe, receiving ``(index, cell, attempt)``
+tasks and answering with the payload or a captured failure description.  A
+cell that raises therefore *returns* a failure instead of tearing the worker
+(or, as ``pool.imap_unordered`` used to, the whole run) down; only a crashed
+or killed process ever fails to answer, and the supervisor in
+:mod:`repro.grid.runner` detects exactly that.
+
 The functions here are module-level so they stay picklable under every
 ``multiprocessing`` start method, including ``spawn``.
 """
@@ -16,6 +24,8 @@ The functions here are module-level so they stay picklable under every
 from __future__ import annotations
 
 from typing import Dict, Tuple
+
+from repro.grid import faults as grid_faults
 
 from repro.core.algorithm import PartitioningResult, get_algorithm
 from repro.core.partitioning import (
@@ -215,9 +225,11 @@ def attach_measured_section(
 def execute_cell(cell: GridCell) -> Tuple[GridCell, Dict[str, object]]:
     """Run one cell and return ``(cell, payload)``.
 
-    Returning the cell alongside the payload lets the parent match results
-    from an unordered pool ``imap`` back to cache keys without bookkeeping in
-    the worker.
+    Returning the cell alongside the payload lets callers match results back
+    to cache keys without bookkeeping in the worker.  Faults installed via
+    :mod:`repro.grid.faults` are *not* applied here — this is the plain
+    execution entry point; the attempt-aware :func:`execute_attempt` wraps it
+    for the fault-tolerant paths.
     """
     workload = _workload(cell.workload)
     cost_model = _cost_model(cell.cost_model)
@@ -231,3 +243,62 @@ def execute_cell(cell: GridCell) -> Tuple[GridCell, Dict[str, object]]:
             cell.measurement_options(),
         )
     return cell, payload
+
+
+def execute_attempt(
+    cell: GridCell, attempt: int = 1, in_process: bool = False
+) -> Dict[str, object]:
+    """Run attempt number ``attempt`` (1-based) of one cell.
+
+    Applies any installed fault for this cell first (see
+    :mod:`repro.grid.faults`), then executes it.  ``in_process`` marks the
+    serial path so ``die`` faults degrade to raising instead of exiting the
+    caller's interpreter.
+    """
+    fault = grid_faults.active_fault(cell.label)
+    if fault is not None:
+        grid_faults.trigger(fault, attempt, in_process=in_process)
+    _, payload = execute_cell(cell)
+    return payload
+
+
+def describe_error(error: BaseException) -> Tuple[str, str]:
+    """``(type name, message)`` of an exception — the picklable failure form.
+
+    Exceptions themselves never cross the process boundary: a custom
+    exception class may not unpickle in the parent (or pickle in the worker),
+    and the supervisor only needs the description to build a
+    :class:`~repro.grid.runner.CellFailure`.
+    """
+    return type(error).__name__, str(error)
+
+
+def worker_loop(conn) -> None:
+    """Main loop of one persistent grid worker process.
+
+    ``conn`` is the worker's end of a duplex :func:`multiprocessing.Pipe`.
+    Tasks arrive as ``(index, cell, attempt)`` tuples; ``None`` (or a closed
+    pipe) shuts the worker down.  Every task is answered with
+    ``(index, "ok", payload)`` or ``(index, "error", (type, message))`` — a
+    raising cell is an *answer*, not a dead worker.  Only a process that is
+    killed (timeout enforcement, OOM, a ``die`` fault) fails to answer, which
+    is exactly the signal the supervisor treats as a crash.
+    """
+    initialize_worker()
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        index, cell, attempt = task
+        try:
+            payload = execute_attempt(cell, attempt)
+            message = (index, "ok", payload)
+        except Exception as error:
+            message = (index, "error", describe_error(error))
+        try:
+            conn.send(message)
+        except (BrokenPipeError, OSError):
+            return

@@ -1,0 +1,168 @@
+"""Unit tests for the deterministic fault-injection harness and retry policy."""
+
+import os
+
+import pytest
+
+from repro.grid.faults import (
+    DIE_EXIT_CODE,
+    ENV_VAR,
+    Fault,
+    FaultPlan,
+    FaultPlanError,
+    InjectedFaultError,
+    TransientInjectedError,
+    active_fault,
+    active_plan,
+    coerce_plan,
+    injected,
+    install,
+    trigger,
+)
+from repro.grid.runner import RetryPolicy
+
+
+class TestFaultValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError):
+            Fault(kind="explode")
+
+    def test_transient_needs_positive_attempts(self):
+        with pytest.raises(FaultPlanError):
+            Fault(kind="transient", attempts=0)
+
+    def test_hang_needs_positive_seconds(self):
+        with pytest.raises(FaultPlanError):
+            Fault(kind="hang", seconds=0.0)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(FaultPlanError):
+            Fault.from_dict({"kind": "raise", "fuse": 3})
+
+    def test_from_dict_requires_kind(self):
+        with pytest.raises(FaultPlanError):
+            Fault.from_dict({"attempts": 3})
+
+    def test_plan_entries_must_be_faults(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan({"a/b/c": "raise"})
+
+    def test_coerce_plan_accepts_plain_mappings_and_plans(self):
+        plan = coerce_plan({"a/b/c": {"kind": "raise"}})
+        assert isinstance(plan, FaultPlan)
+        assert coerce_plan(plan) is plan
+        assert coerce_plan(None) is None
+
+
+class TestPlanRoundTrip:
+    PLAN = FaultPlan.from_mapping(
+        {
+            "hillclimb/w/hdd": {"kind": "raise", "message": "boom"},
+            "navathe/w/hdd": {"kind": "transient", "attempts": 2},
+            "o2p/w/hdd": {"kind": "hang", "seconds": 1.5},
+            "trojan/w/hdd": {"kind": "die"},
+        }
+    )
+
+    def test_json_round_trip_is_lossless(self):
+        assert FaultPlan.from_json(self.PLAN.to_json()) == self.PLAN
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json("{not json")
+
+    def test_install_and_active_plan(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert active_plan() is None
+        install(self.PLAN)
+        try:
+            assert active_plan() == self.PLAN
+            fault = active_fault("navathe/w/hdd")
+            assert fault is not None and fault.kind == "transient"
+            assert active_fault("unknown/cell/label") is None
+        finally:
+            install(None)
+        assert active_plan() is None
+
+    def test_injected_restores_previous_value(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, FaultPlan.from_mapping(
+            {"x/y/z": {"kind": "raise"}}
+        ).to_json())
+        with injected(self.PLAN):
+            assert active_fault("trojan/w/hdd") is not None
+        assert active_fault("trojan/w/hdd") is None
+        assert active_fault("x/y/z") is not None
+
+    def test_installing_empty_plan_uninstalls(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, self.PLAN.to_json())
+        install(FaultPlan({}))
+        assert ENV_VAR not in os.environ
+
+
+class TestTrigger:
+    def test_raise_fault_always_raises(self):
+        fault = Fault(kind="raise", message="broken cell")
+        for attempt in (1, 2, 5):
+            with pytest.raises(InjectedFaultError, match="broken cell"):
+                trigger(fault, attempt)
+
+    def test_transient_fails_then_passes(self):
+        fault = Fault(kind="transient", attempts=2)
+        with pytest.raises(TransientInjectedError):
+            trigger(fault, 1)
+        with pytest.raises(TransientInjectedError):
+            trigger(fault, 2)
+        trigger(fault, 3)  # past the failing window: no-op
+
+    def test_hang_sleeps_then_returns(self):
+        import time
+
+        fault = Fault(kind="hang", seconds=0.05)
+        start = time.monotonic()
+        trigger(fault, 1)
+        assert time.monotonic() - start >= 0.05
+
+    def test_die_degrades_to_raise_in_process(self):
+        # In-process, an os._exit would take the test runner down; the serial
+        # path must degrade it to an ordinary quarantinable exception.
+        fault = Fault(kind="die")
+        with pytest.raises(InjectedFaultError, match="die fault degraded"):
+            trigger(fault, 1, in_process=True)
+
+    def test_die_exit_code_is_distinctive(self):
+        assert DIE_EXIT_CODE != 0
+
+
+class TestRetryPolicy:
+    def test_max_attempts(self):
+        assert RetryPolicy().max_attempts == 1
+        assert RetryPolicy(retries=2).max_attempts == 3
+
+    def test_negative_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=-0.1)
+
+    def test_delay_is_deterministic(self):
+        policy = RetryPolicy(retries=3, backoff_base=0.1)
+        for attempt in (1, 2, 3):
+            assert policy.delay("a/b/c", attempt) == policy.delay("a/b/c", attempt)
+
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(retries=10, backoff_base=0.1, backoff_cap=0.4)
+        # Jitter scales by [0.5, 1.0], so compare against the raw schedule.
+        for attempt in range(1, 8):
+            raw = min(0.4, 0.1 * 2 ** (attempt - 1))
+            delay = policy.delay("cell", attempt)
+            assert 0.5 * raw <= delay <= raw
+
+    def test_jitter_decorrelates_cells(self):
+        policy = RetryPolicy(retries=1, backoff_base=1.0, backoff_cap=10.0)
+        delays = {policy.delay(f"cell-{i}/w/m", 1) for i in range(16)}
+        # A batch of simultaneous failures must not retry in lockstep.
+        assert len(delays) > 1
+
+    def test_zero_base_means_no_delay(self):
+        policy = RetryPolicy(retries=5, backoff_base=0.0)
+        assert policy.delay("cell", 3) == 0.0

@@ -169,6 +169,49 @@ class TestRunGrid:
         run_grid(SPEC, cache_dir=None)
         assert not cache_sharing_enabled()
 
+    def test_serial_run_restores_worker_memos(self):
+        """Regression: the serial path primes the worker module's
+        process-local workload/cost-model memos and used to leave its own
+        entries behind, leaking one run's resolver results into the next."""
+        from repro.grid import worker as grid_worker
+
+        workloads_before = dict(grid_worker._workloads)
+        cost_models_before = dict(grid_worker._cost_models)
+        run_grid(SPEC, cache_dir=None)
+        assert grid_worker._workloads == workloads_before
+        assert grid_worker._cost_models == cost_models_before
+
+    def test_cell_lookup_disambiguates_backends(self):
+        """Regression: ``GridReport.cell()`` ignored the backend axis, so a
+        mixed estimated+measured result list silently returned whichever
+        backend sorted first."""
+        from repro.grid.runner import CellResult, GridReport
+        from repro.grid.spec import GridCell
+
+        results = []
+        for backend in ("estimated", "measured"):
+            cell = GridCell(
+                algorithm="hillclimb",
+                workload="custom:alpha",
+                cost_model="hdd",
+                backend=backend,
+            )
+            results.append(
+                CellResult(
+                    cell=cell,
+                    key=f"key-{backend}",
+                    payload={"estimated_cost": 1.0, "backend": backend},
+                    cached=False,
+                )
+            )
+        report = GridReport(spec=SPEC, results=results)
+        with pytest.raises(KeyError, match="ambiguous"):
+            report.cell("hillclimb", "custom:alpha", "hdd")
+        measured = report.cell("hillclimb", "custom:alpha", "hdd", backend="measured")
+        assert measured.payload["backend"] == "measured"
+        with pytest.raises(KeyError):
+            report.cell("hillclimb", "custom:alpha", "hdd", backend="sampled")
+
 
 class TestEvaluatorCacheSharing:
     def test_shared_caches_are_adopted_and_exact(self):
