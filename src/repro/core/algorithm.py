@@ -16,12 +16,12 @@ algorithms by name.
 from __future__ import annotations
 
 import abc
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Type
 
 from repro.core.partitioning import Partitioning
 from repro.cost.base import CostModel
+from repro.obs.trace import timed
 from repro.workload.workload import Workload
 
 
@@ -134,9 +134,11 @@ class PartitioningAlgorithm(abc.ABC):
     def run(self, workload: Workload, cost_model: CostModel) -> PartitioningResult:
         """Time :meth:`compute`, evaluate the final layout and package the result."""
         counting = _CountingCostModel(cost_model)
-        start = time.perf_counter()
-        partitioning = self.compute(workload, counting)
-        elapsed = time.perf_counter() - start
+        with timed(
+            "algorithm.compute", algorithm=self.name, workload=workload.name
+        ) as timer:
+            partitioning = self.compute(workload, counting)
+        elapsed = timer.wall
         estimated_cost = cost_model.workload_cost(workload, partitioning)
         metadata = dict(self.last_run_metadata())
         # Algorithms that cost candidates through the CostEvaluator kernel no

@@ -62,8 +62,18 @@ from repro.core.partitioning import (
     merge_group_pair,
 )
 from repro.cost.base import CostModel
+from repro.obs.metrics import counter as _obs_counter
 from repro.workload.schema import TableSchema
 from repro.workload.workload import Workload
+
+# Memo-effectiveness counters (docs/OBSERVABILITY.md).  Module-level bound
+# instruments incremented by bare attribute ops: `_signature_cost` sits on the
+# hottest path in the repository and must not pay a registry lookup or method
+# call per candidate layout.
+_MEMO_HITS = _obs_counter("cost.evaluator.memo.hits")
+_MEMO_MISSES = _obs_counter("cost.evaluator.memo.misses")
+_PROFILE_HITS = _obs_counter("cost.evaluator.profile.hits")
+_PROFILE_MISSES = _obs_counter("cost.evaluator.profile.misses")
 
 #: Anything the algorithms use to describe one column group: a bitmask, a
 #: ``Partition``, or an iterable of attribute indices (frozenset, list, ...).
@@ -226,18 +236,24 @@ class CostEvaluator:
         """The model's cached group-local read profile for one group."""
         profile = self._group_profiles.get(mask)
         if profile is None:
+            _PROFILE_MISSES.value += 1
             row_size = self.schema.subset_row_size(self._key(mask))
             profile = self.cost_model.group_read_profile(self.schema, row_size)
             self._group_profiles[mask] = profile
+        else:
+            _PROFILE_HITS.value += 1
         return profile
 
     def _signature_cost(self, signature: Tuple[int, ...]) -> float:
         """Cost of one query whose co-read set is ``signature`` (cached)."""
         cost = self._signature_costs.get(signature)
         if cost is None:
+            _MEMO_MISSES.value += 1
             profiles = [self._profile(mask) for mask in signature]
             cost = self.cost_model.co_read_set_cost(self.schema, profiles)
             self._signature_costs[signature] = cost
+        else:
+            _MEMO_HITS.value += 1
         return cost
 
     # -- evaluation ------------------------------------------------------------

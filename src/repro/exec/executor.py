@@ -41,7 +41,6 @@ agreement comparison must be computed over the same scaled schema —
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -49,10 +48,19 @@ import numpy as np
 
 from repro.core.partitioning import Partitioning
 from repro.cost.disk import DEFAULT_DISK, DiskCharacteristics
+from repro.obs.metrics import counter as _obs_counter, histogram as _obs_histogram
+from repro.obs.trace import timed
 from repro.storage.data import generate_table_data
 from repro.storage.engine import SimulatedDisk, StorageEngine
 from repro.workload.query import ResolvedQuery
 from repro.workload.workload import Workload
+
+# Executor telemetry (docs/OBSERVABILITY.md): traced I/O volume plus the
+# genuinely measured CPU seconds of the vectorized scans.
+_EXEC_QUERIES = _obs_counter("exec.queries")
+_EXEC_BLOCKS = _obs_counter("exec.blocks_read")
+_EXEC_SEEKS = _obs_counter("exec.seeks")
+_EXEC_CPU_SECONDS = _obs_histogram("exec.cpu_seconds")
 
 #: Row count the executor scales tables down to unless told otherwise — big
 #: enough that every layout occupies many blocks (the buffer-sharing effects
@@ -312,25 +320,29 @@ class VectorizedScanExecutor:
             rows_per_page = file.rows_per_page
             page_count = file.page_count
             row_count = file.row_count
-            start = time.perf_counter()
-            position = 0
-            while position < page_count:
-                chunk_blocks = min(buffer_blocks, page_count - position)
-                row_start = position * rows_per_page
-                row_stop = min(row_count, (position + chunk_blocks) * rows_per_page)
-                for array in columns:
-                    checksum = (
-                        checksum + _array_checksum(array[row_start:row_stop])
-                    ) & _CHECKSUM_MASK
-                rows_scanned += row_stop - row_start
-                seeks += 1
-                blocks_read += chunk_blocks
-                position += chunk_blocks
-            cpu_seconds += time.perf_counter() - start
+            with timed("exec.scan", query=query.name) as timer:
+                position = 0
+                while position < page_count:
+                    chunk_blocks = min(buffer_blocks, page_count - position)
+                    row_start = position * rows_per_page
+                    row_stop = min(row_count, (position + chunk_blocks) * rows_per_page)
+                    for array in columns:
+                        checksum = (
+                            checksum + _array_checksum(array[row_start:row_stop])
+                        ) & _CHECKSUM_MASK
+                    rows_scanned += row_stop - row_start
+                    seeks += 1
+                    blocks_read += chunk_blocks
+                    position += chunk_blocks
+            cpu_seconds += timer.wall
         io_seconds = (
             seeks * characteristics.seek_time
             + blocks_read * characteristics.block_size / characteristics.read_bandwidth
         )
+        _EXEC_QUERIES.value += 1
+        _EXEC_BLOCKS.value += blocks_read
+        _EXEC_SEEKS.value += seeks
+        _EXEC_CPU_SECONDS.observe(cpu_seconds)
         return MeasuredRun(
             query=query.name,
             weight=query.weight,

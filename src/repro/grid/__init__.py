@@ -28,9 +28,16 @@ incremental:
   optimisation time, pay-off, fragility, cross-model, failures).
 * :mod:`repro.grid.cli` — the ``python -m repro.grid`` front end.
 
+Every run is observable through :mod:`repro.obs`: ``run_grid(trace=PATH)``
+(CLI ``--trace PATH``) writes a JSONL trace of phases, cell attempts,
+retries, crashes and timeouts — worker spans travel back over the answer
+pipe — and ``GridReport.telemetry`` always carries a
+:class:`~repro.obs.summary.RunTelemetry` digest.
+
 See ``docs/GRID.md`` for cell hashing, the cache layout on disk, resume
-semantics and worker-pool sizing, and ``docs/ROBUSTNESS.md`` for the failure
-semantics, retry/timeout knobs and the fault-injection reference.
+semantics and worker-pool sizing, ``docs/ROBUSTNESS.md`` for the failure
+semantics, retry/timeout knobs and the fault-injection reference, and
+``docs/OBSERVABILITY.md`` for the trace schema and metric names.
 """
 
 from repro.grid.spec import (
@@ -55,6 +62,7 @@ from repro.grid.runner import (
     RetryPolicy,
     run_grid,
 )
+from repro.obs.summary import RunTelemetry
 from repro.grid.aggregate import (
     agreement_rows,
     agreement_summary_rows,
@@ -84,6 +92,7 @@ __all__ = [
     "CellResult",
     "GridReport",
     "RetryPolicy",
+    "RunTelemetry",
     "run_grid",
     "headline_tables",
     "agreement_rows",

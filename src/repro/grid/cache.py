@@ -54,10 +54,21 @@ from pathlib import Path
 from typing import Dict, Mapping, Optional
 
 from repro.cost.base import CostModel
+from repro.obs.metrics import counter as _obs_counter
 from repro.workload.workload import Workload
 
 #: Bump when the payload schema changes incompatibly; old entries then miss.
 FORMAT_VERSION = 1
+
+# Process-global mirrors of the per-instance counters below, so cache
+# effectiveness shows up in run telemetry and traces (docs/OBSERVABILITY.md).
+_CACHE_HITS = _obs_counter("grid.cache.hits")
+_CACHE_MISSES = _obs_counter("grid.cache.misses")
+_CACHE_CORRUPT = _obs_counter("grid.cache.corrupt")
+_CACHE_STALE = _obs_counter("grid.cache.stale")
+_CACHE_STORES = _obs_counter("grid.cache.stores")
+_CACHE_STORE_FAILURES = _obs_counter("grid.cache.store_failures")
+_CACHE_LOAD_FAILURES = _obs_counter("grid.cache.load_failures")
 
 
 def canonical_json(value: object) -> str:
@@ -230,15 +241,18 @@ class ResultCache:
             raw = path.read_text(encoding="utf-8")
         except (FileNotFoundError, NotADirectoryError):
             self.misses += 1
+            _CACHE_MISSES.value += 1
             return None
         except OSError as error:
             self.load_failures += 1
+            _CACHE_LOAD_FAILURES.value += 1
             self._warn_io_failure("read", error)
             return None
         try:
             entry = json.loads(raw)
         except json.JSONDecodeError:
             self.corrupt += 1
+            _CACHE_CORRUPT.value += 1
             return None
         if (
             not isinstance(entry, dict)
@@ -247,9 +261,11 @@ class ResultCache:
             or not isinstance(entry.get("payload"), dict)
         ):
             self.corrupt += 1
+            _CACHE_CORRUPT.value += 1
             return None
         if content_key(entry.get("inputs", {})) != key:
             self.stale += 1
+            _CACHE_STALE.value += 1
             return None
         payload = entry["payload"]
         if (
@@ -257,8 +273,10 @@ class ResultCache:
             != entry.get("payload_sha256")
         ):
             self.corrupt += 1
+            _CACHE_CORRUPT.value += 1
             return None
         self.hits += 1
+        _CACHE_HITS.value += 1
         return payload
 
     def store(
@@ -298,9 +316,11 @@ class ResultCache:
                 raise
         except OSError as error:
             self.store_failures += 1
+            _CACHE_STORE_FAILURES.value += 1
             self._warn_io_failure("write", error)
             return
         self.stores += 1
+        _CACHE_STORES.value += 1
 
     @property
     def lookups(self) -> int:

@@ -114,7 +114,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet",
         action="store_true",
-        help="suppress per-cell progress lines (tables are still printed)",
+        help="suppress all non-table output (spec shape, progress lines, "
+        "cache accounting, telemetry); only the headline tables are printed",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL trace of the run (spans, events, metrics) to "
+        "PATH; inspect it with `python -m repro.obs summary PATH` "
+        "(see docs/OBSERVABILITY.md)",
     )
     parser.add_argument(
         "--cell-timeout",
@@ -224,7 +233,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
 
     progress = None if args.quiet else lambda line: print(f"  {line}")
-    print(spec.describe())
+    if not args.quiet:
+        print(spec.describe())
     run_options = {}
     if args.retry_backoff is not None:
         run_options["retry_backoff"] = args.retry_backoff
@@ -238,6 +248,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             cell_timeout=args.cell_timeout,
             retries=args.retries,
             fail_fast=args.fail_fast,
+            trace=args.trace,
             **run_options,
         )
     except GridExecutionError as error:
@@ -252,9 +263,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     except GridError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    # GridReport.describe() is the single source of the report format; skip
-    # its first line (the spec shape) — printed above before the run started.
-    print("\n".join(report.describe().splitlines()[1:]))
+    if args.quiet:
+        # Quiet mode prints the headline tables and nothing else; everything
+        # diagnostic (accounting, telemetry, warnings) belongs to stderr or
+        # the non-quiet path.
+        from repro.grid.aggregate import headline_tables
+
+        print(headline_tables(report.results))
+    else:
+        # GridReport.describe() is the single source of the report format;
+        # skip its first line (the spec shape) — printed above before the run
+        # started.
+        print("\n".join(report.describe().splitlines()[1:]))
+        if report.telemetry is not None:
+            print(report.telemetry.describe())
+    if report.cache_degraded:
+        print(
+            f"warning: result cache degraded: "
+            f"{report.cache_store_failures} store / "
+            f"{report.cache_load_failures} load I/O failures — affected "
+            f"cells ran cache-less and will be recomputed next run",
+            file=sys.stderr,
+        )
     if report.failures:
         # Keep-going semantics: the run completed and the tables above carry
         # every successful cell, so the exit code stays 0 — but the failures

@@ -49,7 +49,7 @@ import multiprocessing
 import time
 import warnings
 from collections import deque
-from contextlib import nullcontext
+from contextlib import ExitStack, nullcontext
 from dataclasses import dataclass
 from multiprocessing import connection as mp_connection
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
@@ -67,9 +67,20 @@ from repro.grid.spec import (
     resolve_cost_model,
     resolve_workload,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.summary import RunTelemetry
 
 #: Default base delay (seconds) of the retry backoff schedule.
 DEFAULT_RETRY_BACKOFF = 0.05
+
+# Supervisor-side fault and throughput counters (docs/OBSERVABILITY.md).
+_RETRY_ATTEMPTS = obs_metrics.counter("grid.retry.attempts")
+_RETRY_BACKOFF = obs_metrics.histogram("grid.retry.backoff_seconds")
+_WORKER_CRASHES = obs_metrics.counter("grid.worker.crashes")
+_CELL_TIMEOUTS = obs_metrics.counter("grid.cell.timeouts")
+_CELLS_COMPUTED = obs_metrics.counter("grid.cells.computed")
+_CELLS_FAILED = obs_metrics.counter("grid.cells.failed")
 
 #: How long the parallel supervisor blocks waiting for worker answers before
 #: re-checking deadlines, liveness and pending retries.
@@ -193,6 +204,10 @@ class GridReport:
     spec: GridSpec
     results: List[CellResult]
     cache: Optional[ResultCache] = None
+    #: Run-level telemetry (phase timings, fault counts, metrics delta);
+    #: always attached by :func:`run_grid`, ``None`` only for hand-built
+    #: reports.
+    telemetry: Optional[RunTelemetry] = None
 
     @property
     def cache_hits(self) -> int:
@@ -225,6 +240,21 @@ class GridReport:
     def hit_rate(self) -> float:
         """Fraction of cells served from the cache."""
         return self.cache_hits / len(self.results) if self.results else 0.0
+
+    @property
+    def cache_store_failures(self) -> int:
+        """Cache writes that failed with I/O errors this run (0 without a cache)."""
+        return self.cache.store_failures if self.cache is not None else 0
+
+    @property
+    def cache_load_failures(self) -> int:
+        """Cache reads that failed with I/O errors this run (0 without a cache)."""
+        return self.cache.load_failures if self.cache is not None else 0
+
+    @property
+    def cache_degraded(self) -> bool:
+        """Whether the result cache hit any I/O failure during the run."""
+        return bool(self.cache_store_failures or self.cache_load_failures)
 
     def cell(
         self,
@@ -292,10 +322,14 @@ class _WorkerHandle:
     task: Optional[Tuple[GridCell, int]] = None
     #: Monotonic deadline of the in-flight attempt (``None``: no timeout).
     deadline: Optional[float] = None
+    #: Monotonic time the in-flight attempt was assigned (for attributing
+    #: wall time to attempts whose worker never answered).
+    assigned_at: Optional[float] = None
 
     def assign(self, cell: GridCell, attempt: int, timeout: Optional[float]) -> None:
         self.task = (cell, attempt)
-        self.deadline = (time.monotonic() + timeout) if timeout else None
+        self.assigned_at = time.monotonic()
+        self.deadline = (self.assigned_at + timeout) if timeout else None
         self.conn.send((id(self), cell, attempt))
 
     def retire(self, kill: bool = False) -> None:
@@ -332,6 +366,10 @@ class _GridExecutor:
         self.record = record
         self.progress = progress
         self.abort: Optional[GridExecutionError] = None
+        # Run-level fault accounting, surfaced through ``RunTelemetry``.
+        self.retries = 0
+        self.worker_crashes = 0
+        self.cell_timeouts = 0
 
     def _progress(self, line: str) -> None:
         if self.progress is not None:
@@ -340,6 +378,7 @@ class _GridExecutor:
     def finish_success(
         self, cell: GridCell, payload: Dict[str, object], attempts: int
     ) -> None:
+        _CELLS_COMPUTED.value += 1
         self.record(cell, payload, attempts, None)
         suffix = f" (attempt {attempts})" if attempts > 1 else ""
         self._progress(f"computed {cell.label}{suffix}")
@@ -347,6 +386,7 @@ class _GridExecutor:
     def finish_failure(
         self, cell: GridCell, error_type: str, message: str, attempts: int
     ) -> None:
+        _CELLS_FAILED.value += 1
         failure = CellFailure(error_type, message, attempts)
         self.record(cell, None, attempts, failure)
         self._progress(f"failed   {cell.label}: {failure.describe()}")
@@ -359,12 +399,66 @@ class _GridExecutor:
     def note_retry(self, cell: GridCell, attempt: int, error_type: str) -> float:
         """Log a scheduled retry, returning its backoff delay."""
         delay = self.policy.delay(cell.label, attempt)
+        self.retries += 1
+        _RETRY_ATTEMPTS.value += 1
+        _RETRY_BACKOFF.observe(delay)
+        obs_trace.event(
+            "grid.retry",
+            cell=cell.label,
+            attempt=attempt,
+            error=error_type,
+            delay=delay,
+        )
         left = self.policy.max_attempts - attempt
         self._progress(
             f"retry    {cell.label}: attempt {attempt} failed "
             f"({error_type}); {left} attempt(s) left"
         )
         return delay
+
+    def note_worker_crash(
+        self, cell: GridCell, attempt: int, exitcode: Optional[int], wall: float
+    ) -> None:
+        """Attribute a worker death to its in-flight attempt.
+
+        The attempt's real span records died with the worker, so a
+        ``grid.cell`` span (error status, wall from the supervisor's clock)
+        is synthesized into the trace next to the crash event — the trace
+        still accounts for every attempt.
+        """
+        self.worker_crashes += 1
+        _WORKER_CRASHES.value += 1
+        obs_trace.event(
+            "grid.worker-crash", cell=cell.label, attempt=attempt, exitcode=exitcode
+        )
+        obs_trace.emit_span(
+            "grid.cell",
+            wall,
+            status="error",
+            error=f"WorkerCrash: worker died (exit code {exitcode})",
+            cell=cell.label,
+            attempt=attempt,
+            synthesized=True,
+        )
+
+    def note_cell_timeout(
+        self, cell: GridCell, attempt: int, timeout: float, wall: float
+    ) -> None:
+        """Attribute a SIGKILLed over-budget attempt; see :meth:`note_worker_crash`."""
+        self.cell_timeouts += 1
+        _CELL_TIMEOUTS.value += 1
+        obs_trace.event(
+            "grid.cell-timeout", cell=cell.label, attempt=attempt, timeout=timeout
+        )
+        obs_trace.emit_span(
+            "grid.cell",
+            wall,
+            status="error",
+            error=f"CellTimeout: attempt exceeded {timeout:g}s",
+            cell=cell.label,
+            attempt=attempt,
+            synthesized=True,
+        )
 
 
 def _execute_serial(executor: _GridExecutor, pending: List[GridCell]) -> None:
@@ -380,7 +474,10 @@ def _execute_serial(executor: _GridExecutor, pending: List[GridCell]) -> None:
         while True:
             attempt += 1
             try:
-                payload = grid_worker.execute_attempt(cell, attempt, in_process=True)
+                with obs_trace.span("grid.cell", cell=cell.label, attempt=attempt):
+                    payload = grid_worker.execute_attempt(
+                        cell, attempt, in_process=True
+                    )
             except Exception as error:
                 error_type, message = grid_worker.describe_error(error)
                 if executor.should_retry(attempt):
@@ -480,14 +577,21 @@ def _execute_parallel(
                 if handle.task is None:
                     continue
                 task = handle.task
+                assigned_at = handle.assigned_at
                 try:
-                    _, status, detail = conn.recv()
+                    _, status, detail, telemetry = conn.recv()
                 except (EOFError, OSError):
                     # The pipe closed without an answer: the worker is gone.
+                    # Join before reading the exit code — a child that closed
+                    # the pipe via ``os._exit`` may not be reapable yet, and
+                    # an unjoined process polls its exit code as ``None``.
                     handles.remove(handle)
+                    handle.process.join(timeout=5)
                     exitcode = handle.process.exitcode
                     handle.retire(kill=True)
                     handle.task = None
+                    wall = time.monotonic() - assigned_at if assigned_at else 0.0
+                    executor.note_worker_crash(task[0], task[1], exitcode, wall)
                     _attempt_failed(
                         task,
                         "WorkerCrash",
@@ -497,7 +601,14 @@ def _execute_parallel(
                     continue
                 handle.task = None
                 handle.deadline = None
+                handle.assigned_at = None
                 cell, attempt = task
+                if telemetry:
+                    obs_metrics.registry().merge(telemetry.get("metrics") or {})
+                    obs_trace.adopt_spans(
+                        telemetry.get("spans") or (),
+                        obs_trace.task_seed(cell.label, attempt),
+                    )
                 if status == "ok":
                     executor.finish_success(cell, detail, attempt)
                     remaining -= 1
@@ -516,9 +627,13 @@ def _execute_parallel(
                         # iteration's wait() will deliver it.
                         continue
                     handles.remove(handle)
+                    handle.process.join(timeout=5)
                     exitcode = handle.process.exitcode
+                    assigned_at = handle.assigned_at
                     handle.retire(kill=True)
                     handle.task = None
+                    wall = now - assigned_at if assigned_at else 0.0
+                    executor.note_worker_crash(task[0], task[1], exitcode, wall)
                     _attempt_failed(
                         task,
                         "WorkerCrash",
@@ -527,9 +642,12 @@ def _execute_parallel(
                     )
                 elif handle.deadline is not None and now >= handle.deadline:
                     handles.remove(handle)
+                    assigned_at = handle.assigned_at
                     handle.task = None
                     handle.retire(kill=True)
                     attempt = task[1]
+                    wall = now - assigned_at if assigned_at else 0.0
+                    executor.note_cell_timeout(task[0], attempt, cell_timeout, wall)
                     _attempt_failed(
                         task,
                         "CellTimeout",
@@ -555,6 +673,7 @@ def run_grid(
     retry_backoff: float = DEFAULT_RETRY_BACKOFF,
     fail_fast: bool = False,
     faults: Optional[Union[grid_faults.FaultPlan, Mapping[str, object]]] = None,
+    trace: Optional[str] = None,
 ) -> GridReport:
     """Execute a comparison grid, serving unchanged cells from the cache.
 
@@ -594,10 +713,18 @@ def run_grid(
         Optional deterministic fault plan (:class:`~repro.grid.faults
         .FaultPlan` or a plain mapping) installed for the duration of the
         run — the test harness's entry point; see :mod:`repro.grid.faults`.
+    trace:
+        Path of a JSONL trace file to write (``docs/OBSERVABILITY.md``).
+        Enables span collection in worker processes; every phase, cell
+        attempt, retry, crash and timeout is recorded, and the run's metrics
+        delta is appended as the final record.  ``None`` (the default) keeps
+        tracing off — instrumented call sites stay no-op-cheap.
 
     Failed cells appear in the returned report as :class:`CellResult` rows
     with a :class:`CellFailure` (``report.failures``); failures are never
-    written to the cache, so a rerun retries exactly the lost cells.
+    written to the cache, so a rerun retries exactly the lost cells.  The
+    report's :attr:`GridReport.telemetry` always carries a
+    :class:`~repro.obs.summary.RunTelemetry` summary, traced or not.
     """
     policy = (
         retries
@@ -614,83 +741,120 @@ def run_grid(
             stacklevel=2,
         )
 
+    run_started = time.perf_counter()
+    baseline_metrics = obs_metrics.registry().snapshot()
+    phases: Dict[str, float] = {}
+
     cells = spec.cells()
-    workloads = {wid: resolve_workload(wid) for wid in spec.workloads}
-    cost_models = {cid: resolve_cost_model(cid) for cid in spec.cost_models}
     cache = ResultCache(cache_dir) if cache_dir is not None else None
 
-    inputs_by_cell: Dict[GridCell, Dict[str, object]] = {}
-    keys_by_cell: Dict[GridCell, str] = {}
-    for cell in cells:
-        inputs = cell_inputs(
-            cell.algorithm,
-            cell.options(),
-            cell.workload,
-            workloads[cell.workload],
-            cell.cost_model,
-            cost_models[cell.cost_model],
-            backend=cell.backend,
-            measurement=cell.measurement_options(),
-        )
-        inputs_by_cell[cell] = inputs
-        keys_by_cell[cell] = content_key(inputs)
+    with ExitStack() as stack:
+        if trace is not None:
+            stack.enter_context(
+                obs_trace.tracing(
+                    trace,
+                    spec.name,
+                    {
+                        "cells": spec.cell_count,
+                        "backend": spec.backend,
+                        "workers": workers,
+                    },
+                )
+            )
+            # Workers (fork or spawn) inherit the environment and buffer
+            # their spans for the supervisor to adopt.
+            stack.enter_context(obs_trace.collection_env())
 
-    outcomes: Dict[GridCell, Tuple[Optional[Dict[str, object]], bool, int, Optional[CellFailure]]] = {}
-    pending: List[GridCell] = []
-    for cell in cells:
-        payload = None
-        if cache is not None and not refresh:
-            payload = cache.load(keys_by_cell[cell])
-        if payload is not None:
-            outcomes[cell] = (payload, True, 1, None)
-            if progress is not None:
-                progress(f"cached   {cell.label}")
-        else:
-            pending.append(cell)
+        with obs_trace.timed("grid.resolve") as timer:
+            workloads = {wid: resolve_workload(wid) for wid in spec.workloads}
+            cost_models = {
+                cid: resolve_cost_model(cid) for cid in spec.cost_models
+            }
+            inputs_by_cell: Dict[GridCell, Dict[str, object]] = {}
+            keys_by_cell: Dict[GridCell, str] = {}
+            for cell in cells:
+                inputs = cell_inputs(
+                    cell.algorithm,
+                    cell.options(),
+                    cell.workload,
+                    workloads[cell.workload],
+                    cell.cost_model,
+                    cost_models[cell.cost_model],
+                    backend=cell.backend,
+                    measurement=cell.measurement_options(),
+                )
+                inputs_by_cell[cell] = inputs
+                keys_by_cell[cell] = content_key(inputs)
+        phases["grid.resolve"] = timer.wall
 
-    def _record(
-        cell: GridCell,
-        payload: Optional[Dict[str, object]],
-        attempts: int,
-        failure: Optional[CellFailure],
-    ) -> None:
-        outcomes[cell] = (payload, False, attempts, failure)
-        if failure is None and payload is not None and cache is not None:
-            cache.store(keys_by_cell[cell], inputs_by_cell[cell], payload)
+        outcomes: Dict[GridCell, Tuple[Optional[Dict[str, object]], bool, int, Optional[CellFailure]]] = {}
+        pending: List[GridCell] = []
+        with obs_trace.timed("grid.cache-scan") as timer:
+            for cell in cells:
+                payload = None
+                if cache is not None and not refresh:
+                    payload = cache.load(keys_by_cell[cell])
+                if payload is not None:
+                    outcomes[cell] = (payload, True, 1, None)
+                    obs_trace.event("grid.cache-hit", cell=cell.label)
+                    if progress is not None:
+                        progress(f"cached   {cell.label}")
+                else:
+                    pending.append(cell)
+        phases["grid.cache-scan"] = timer.wall
 
-    if pending:
+        def _record(
+            cell: GridCell,
+            payload: Optional[Dict[str, object]],
+            attempts: int,
+            failure: Optional[CellFailure],
+        ) -> None:
+            outcomes[cell] = (payload, False, attempts, failure)
+            if failure is None and payload is not None and cache is not None:
+                cache.store(keys_by_cell[cell], inputs_by_cell[cell], payload)
+
         executor = _GridExecutor(
             policy=policy, fail_fast=fail_fast, record=_record, progress=progress
         )
-        with grid_faults.injected(faults) if faults is not None else nullcontext():
-            if workers <= 1:
-                # Seed the worker memos with the already-resolved objects and
-                # mirror the pool workers' shared-cache behaviour, but restore
-                # both the caller's sharing setting *and* the memo contents
-                # afterwards — the serial path must not leak module-global
-                # state into the calling process.
-                saved_workloads = dict(grid_worker._workloads)
-                saved_cost_models = dict(grid_worker._cost_models)
-                grid_worker._workloads.update(workloads)
-                grid_worker._cost_models.update(cost_models)
-                previous = enable_cache_sharing(True)
-                try:
-                    _execute_serial(executor, pending)
-                finally:
-                    enable_cache_sharing(previous)
-                    if not previous:
-                        # Sharing was ours alone — release the memoized
-                        # profiles rather than retaining them for the process
-                        # lifetime.
-                        clear_shared_caches()
-                    grid_worker._workloads.clear()
-                    grid_worker._workloads.update(saved_workloads)
-                    grid_worker._cost_models.clear()
-                    grid_worker._cost_models.update(saved_cost_models)
-            else:
-                _execute_parallel(
-                    executor, pending, workers, cell_timeout, mp_start_method
-                )
+        with obs_trace.timed("grid.execute") as timer:
+            if pending:
+                with grid_faults.injected(faults) if faults is not None else nullcontext():
+                    if workers <= 1:
+                        # Seed the worker memos with the already-resolved
+                        # objects and mirror the pool workers' shared-cache
+                        # behaviour, but restore both the caller's sharing
+                        # setting *and* the memo contents afterwards — the
+                        # serial path must not leak module-global state into
+                        # the calling process.
+                        saved_workloads = dict(grid_worker._workloads)
+                        saved_cost_models = dict(grid_worker._cost_models)
+                        grid_worker._workloads.update(workloads)
+                        grid_worker._cost_models.update(cost_models)
+                        previous = enable_cache_sharing(True)
+                        try:
+                            _execute_serial(executor, pending)
+                        finally:
+                            enable_cache_sharing(previous)
+                            if not previous:
+                                # Sharing was ours alone — release the
+                                # memoized profiles rather than retaining
+                                # them for the process lifetime.
+                                clear_shared_caches()
+                            grid_worker._workloads.clear()
+                            grid_worker._workloads.update(saved_workloads)
+                            grid_worker._cost_models.clear()
+                            grid_worker._cost_models.update(saved_cost_models)
+                    else:
+                        _execute_parallel(
+                            executor, pending, workers, cell_timeout,
+                            mp_start_method,
+                        )
+        phases["grid.execute"] = timer.wall
+
+        # The run's own metrics delta closes the trace; computed inside the
+        # tracing context so the record lands in the file.
+        run_metrics = obs_metrics.registry().delta(baseline_metrics)
+        obs_trace.emit_metrics(run_metrics)
 
     results = [
         CellResult(
@@ -703,4 +867,23 @@ def run_grid(
         )
         for cell in cells
     ]
-    return GridReport(spec=spec, results=results, cache=cache)
+    telemetry = RunTelemetry(
+        run=spec.name,
+        wall_seconds=time.perf_counter() - run_started,
+        phases=phases,
+        cells_total=len(results),
+        cells_cached=sum(1 for result in results if result.cached),
+        cells_computed=sum(
+            1 for result in results if not result.cached and result.ok
+        ),
+        cells_failed=sum(1 for result in results if result.failure is not None),
+        retries=executor.retries,
+        worker_crashes=executor.worker_crashes,
+        cell_timeouts=executor.cell_timeouts,
+        cache_stores=cache.stores if cache is not None else 0,
+        cache_store_failures=cache.store_failures if cache is not None else 0,
+        cache_load_failures=cache.load_failures if cache is not None else 0,
+        metrics=run_metrics,
+        trace_path=trace,
+    )
+    return GridReport(spec=spec, results=results, cache=cache, telemetry=telemetry)

@@ -23,9 +23,12 @@ The functions here are module-level so they stay picklable under every
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import os
+from typing import Dict, Optional, Tuple
 
 from repro.grid import faults as grid_faults
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 from repro.core.algorithm import PartitioningResult, get_algorithm
 from repro.core.partitioning import (
@@ -273,16 +276,56 @@ def describe_error(error: BaseException) -> Tuple[str, str]:
     return type(error).__name__, str(error)
 
 
+def run_task(cell: GridCell, attempt: int) -> Tuple[str, object, Optional[Dict]]:
+    """Execute one worker task, returning ``(status, detail, telemetry)``.
+
+    ``telemetry`` is ``None`` unless the supervisor exported
+    :data:`repro.obs.trace.COLLECT_ENV_VAR` (which both ``fork`` and
+    ``spawn`` children inherit): then it is ``{"spans": [...], "metrics":
+    {...}}`` — the span records buffered under a deterministic per-task root
+    (seeded ``"{cell}#{attempt}"``) and the *delta* of this process's metrics
+    registry across the task, so fork-inherited counter values cancel out and
+    the supervisor can merge attempts from any number of workers.  Spans
+    captured before an in-cell exception still ship with the error answer;
+    only a killed process loses its buffer (the supervisor synthesizes a span
+    for those from its own clock).
+    """
+    if not obs_trace.collection_requested():
+        try:
+            return "ok", execute_attempt(cell, attempt), None
+        except Exception as error:
+            return "error", describe_error(error), None
+    baseline = obs_metrics.registry().snapshot()
+    seed = obs_trace.task_seed(cell.label, attempt)
+    with obs_trace.collecting(seed) as buffer:
+        try:
+            with obs_trace.span(
+                "grid.cell", cell=cell.label, attempt=attempt, pid=os.getpid()
+            ):
+                payload = execute_attempt(cell, attempt)
+            status, detail = "ok", payload
+        except Exception as error:
+            status, detail = "error", describe_error(error)
+    telemetry = {
+        "spans": buffer.records,
+        "metrics": obs_metrics.registry().delta(baseline),
+    }
+    return status, detail, telemetry
+
+
 def worker_loop(conn) -> None:
     """Main loop of one persistent grid worker process.
 
     ``conn`` is the worker's end of a duplex :func:`multiprocessing.Pipe`.
     Tasks arrive as ``(index, cell, attempt)`` tuples; ``None`` (or a closed
     pipe) shuts the worker down.  Every task is answered with
-    ``(index, "ok", payload)`` or ``(index, "error", (type, message))`` — a
-    raising cell is an *answer*, not a dead worker.  Only a process that is
-    killed (timeout enforcement, OOM, a ``die`` fault) fails to answer, which
-    is exactly the signal the supervisor treats as a crash.
+    ``(index, "ok", payload, telemetry)`` or ``(index, "error",
+    (type, message), telemetry)`` — a raising cell is an *answer*, not a dead
+    worker.  Only a process that is killed (timeout enforcement, OOM, a
+    ``die`` fault) fails to answer, which is exactly the signal the
+    supervisor treats as a crash.  ``telemetry`` carries the task's buffered
+    spans and metrics delta when the supervisor requested collection (see
+    :func:`run_task`), else ``None``.
     """
     initialize_worker()
     while True:
@@ -293,12 +336,8 @@ def worker_loop(conn) -> None:
         if task is None:
             return
         index, cell, attempt = task
+        status, detail, telemetry = run_task(cell, attempt)
         try:
-            payload = execute_attempt(cell, attempt)
-            message = (index, "ok", payload)
-        except Exception as error:
-            message = (index, "error", describe_error(error))
-        try:
-            conn.send(message)
+            conn.send((index, status, detail, telemetry))
         except (BrokenPipeError, OSError):
             return

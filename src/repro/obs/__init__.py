@@ -1,0 +1,89 @@
+"""Dependency-free observability: structured tracing + process-local metrics.
+
+See ``docs/OBSERVABILITY.md`` for the trace schema, the canonical metric
+names, and the ``python -m repro.obs summary`` CLI.  Quick orientation:
+
+* :func:`span` / :func:`timed` / :func:`event` — instrument a region; spans
+  are no-op-cheap unless a sink is active, ``timed`` always measures wall.
+* :func:`tracing` — supervisor-side: write a per-run JSONL trace file.
+* :func:`collecting` / :func:`collection_env` — worker-side span shipping
+  over the grid's answer pipe (fork and spawn safe).
+* :func:`counter` / :func:`gauge` / :func:`histogram` / :func:`registry` —
+  the process-global metrics registry.
+* :class:`RunTelemetry` / :func:`summarize` — run-level and trace-level
+  digests.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    registry,
+)
+from repro.obs.summary import (
+    CellTrace,
+    RunTelemetry,
+    TraceSummary,
+    render_summary,
+    summarize,
+)
+from repro.obs.trace import (
+    COLLECT_ENV_VAR,
+    SpanBuffer,
+    TraceWriter,
+    adopt_spans,
+    collecting,
+    collection_env,
+    collection_requested,
+    current_id,
+    emit_metrics,
+    emit_span,
+    enabled,
+    event,
+    read_trace,
+    root_id,
+    span,
+    span_id,
+    task_seed,
+    timed,
+    tracing,
+)
+
+__all__ = [
+    "COLLECT_ENV_VAR",
+    "CellTrace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunTelemetry",
+    "SpanBuffer",
+    "TraceSummary",
+    "TraceWriter",
+    "adopt_spans",
+    "collecting",
+    "collection_env",
+    "collection_requested",
+    "counter",
+    "current_id",
+    "emit_metrics",
+    "emit_span",
+    "enabled",
+    "event",
+    "gauge",
+    "histogram",
+    "read_trace",
+    "registry",
+    "render_summary",
+    "root_id",
+    "span",
+    "span_id",
+    "summarize",
+    "task_seed",
+    "timed",
+    "tracing",
+]

@@ -1,0 +1,84 @@
+"""Command-line entry point: ``python -m repro.obs``.
+
+Subcommands:
+
+* ``summary <trace.jsonl> [--top N] [--json]`` — digest a trace written by
+  ``python -m repro.grid --trace PATH``: per-phase time breakdown, top-N
+  slowest cells, cache hit rates, and retry/crash/timeout attribution per
+  cell.  ``--json`` emits the digest as one JSON object for scripting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.obs.summary import render_summary, summarize
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for ``--help`` testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect traces written by the grid runner's --trace flag.",
+    )
+    subcommands = parser.add_subparsers(dest="command", required=True)
+    summary = subcommands.add_parser(
+        "summary", help="digest a trace file into a human-readable report"
+    )
+    summary.add_argument("trace", help="path to a trace .jsonl file")
+    summary.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="how many slowest cells to list (default: 10)",
+    )
+    summary.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the digest as JSON instead of the human report",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the obs CLI; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        digest = summarize(args.trace)
+    except FileNotFoundError:
+        print(f"error: {args.trace}: no such file", file=sys.stderr)
+        return 1
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        payload = {
+            "meta": digest.meta,
+            "phases": digest.phases,
+            "cells": {
+                label: {
+                    "attempts": cell.attempts,
+                    "wall": cell.wall,
+                    "status": cell.status,
+                    "retries": cell.retries,
+                    "crashes": cell.crashes,
+                    "timeouts": cell.timeouts,
+                    "errors": cell.errors,
+                }
+                for label, cell in digest.cells.items()
+            },
+            "cache_hits": digest.cache_hits,
+            "metrics": digest.metrics,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_summary(digest, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,325 @@
+"""Run telemetry and trace summarisation.
+
+Two consumers live here:
+
+* :class:`RunTelemetry` — the in-process summary a grid run attaches to its
+  ``GridReport`` (and the CLI prints): phase timings, cell accounting,
+  retry/crash/timeout counts, cache and evaluator-memo effectiveness.
+* :func:`summarize` / :func:`render_summary` — the offline path behind
+  ``python -m repro.obs summary <trace.jsonl>``: reconstructs the same story
+  from a trace file, attributing every retry, crash, and timeout to its cell
+  and ranking the slowest cells.
+
+Both read the canonical span/event names emitted by :mod:`repro.grid.runner`
+(``grid.resolve`` / ``grid.cache-scan`` / ``grid.execute`` phases,
+``grid.cell`` attempt spans, ``grid.retry`` / ``grid.worker-crash`` /
+``grid.cell-timeout`` / ``grid.cache-hit`` events) and the metric names
+documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.trace import read_trace
+
+#: Phase span names, in emission order, that the summary breaks time into.
+PHASE_SPANS = ("grid.resolve", "grid.cache-scan", "grid.execute")
+
+
+def _rate(hits: int, misses: int) -> Optional[float]:
+    total = hits + misses
+    return hits / total if total else None
+
+
+def _fmt_rate(hits: int, misses: int) -> str:
+    rate = _rate(hits, misses)
+    if rate is None:
+        return f"{hits} hits / {misses} misses"
+    return f"{hits} hits / {misses} misses ({rate:.1%})"
+
+
+@dataclass
+class RunTelemetry:
+    """What a grid run can tell about itself without reading the trace file.
+
+    Attached to ``GridReport.telemetry`` by :func:`repro.grid.runner.run_grid`
+    whether or not tracing was on — the metrics registry is always live.
+    """
+
+    run: str
+    wall_seconds: float
+    phases: Dict[str, float] = field(default_factory=dict)
+    cells_total: int = 0
+    cells_cached: int = 0
+    cells_computed: int = 0
+    cells_failed: int = 0
+    retries: int = 0
+    worker_crashes: int = 0
+    cell_timeouts: int = 0
+    cache_stores: int = 0
+    cache_store_failures: int = 0
+    cache_load_failures: int = 0
+    metrics: Dict = field(default_factory=dict)
+    trace_path: Optional[str] = None
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form (JSON-serialisable)."""
+        return {
+            "run": self.run,
+            "wall_seconds": self.wall_seconds,
+            "phases": dict(self.phases),
+            "cells": {
+                "total": self.cells_total,
+                "cached": self.cells_cached,
+                "computed": self.cells_computed,
+                "failed": self.cells_failed,
+            },
+            "retries": self.retries,
+            "worker_crashes": self.worker_crashes,
+            "cell_timeouts": self.cell_timeouts,
+            "cache": {
+                "stores": self.cache_stores,
+                "store_failures": self.cache_store_failures,
+                "load_failures": self.cache_load_failures,
+            },
+            "metrics": self.metrics,
+            "trace_path": self.trace_path,
+        }
+
+    def describe(self) -> str:
+        """Multi-line human summary the CLI appends to the run report."""
+        phase_bits = " · ".join(
+            f"{name.split('.', 1)[1]} {seconds:.2f}s"
+            for name, seconds in self.phases.items()
+        )
+        lines = [
+            f"telemetry: {self.wall_seconds:.2f}s wall"
+            + (f" ({phase_bits})" if phase_bits else ""),
+            f"  cells: {self.cells_total} total · {self.cells_cached} cached "
+            f"· {self.cells_computed} computed · {self.cells_failed} failed",
+        ]
+        if self.retries or self.worker_crashes or self.cell_timeouts:
+            lines.append(
+                f"  faults: {self.retries} retries · "
+                f"{self.worker_crashes} worker crashes · "
+                f"{self.cell_timeouts} cell timeouts"
+            )
+        cache_line = (
+            f"  result cache: {self.cells_cached} hits · "
+            f"{self.cache_stores} stores"
+        )
+        if self.cache_store_failures or self.cache_load_failures:
+            cache_line += (
+                f" · degraded: {self.cache_store_failures} store / "
+                f"{self.cache_load_failures} load I/O failures"
+            )
+        lines.append(cache_line)
+        counters = self.metrics.get("counters", {})
+        memo_hits = counters.get("cost.evaluator.memo.hits", 0)
+        memo_misses = counters.get("cost.evaluator.memo.misses", 0)
+        if memo_hits or memo_misses:
+            lines.append(f"  evaluator memo: {_fmt_rate(memo_hits, memo_misses)}")
+        if self.trace_path:
+            lines.append(f"  trace: {self.trace_path}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CellTrace:
+    """Everything the trace attributes to one grid cell."""
+
+    label: str
+    attempts: int = 0
+    wall: float = 0.0
+    status: str = "ok"
+    retries: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    errors: List[str] = field(default_factory=list)
+
+
+@dataclass
+class TraceSummary:
+    """The digest :func:`summarize` extracts from one trace file."""
+
+    meta: Dict
+    phases: Dict[str, float]
+    cells: Dict[str, CellTrace]
+    cache_hits: int
+    metrics: Dict
+    span_count: int
+    event_count: int
+
+    @property
+    def failed_cells(self) -> List[CellTrace]:
+        return [c for c in self.cells.values() if c.status == "error"]
+
+    def slowest_cells(self, top: int = 10) -> List[CellTrace]:
+        ranked = sorted(self.cells.values(), key=lambda c: -c.wall)
+        return ranked[:top]
+
+    def counter(self, name: str) -> int:
+        """A counter's value from the trace's final metrics record (0 if absent)."""
+        return int(self.metrics.get("counters", {}).get(name, 0))
+
+
+def summarize(path: str) -> TraceSummary:
+    """Digest a trace file: phases, per-cell attribution, metrics.
+
+    Raises ``ValueError`` for files that are not (supported) traces.
+    """
+    meta, records = read_trace(path)
+    phases: Dict[str, float] = {}
+    cells: Dict[str, CellTrace] = {}
+    cache_hits = 0
+    metrics: Dict = {}
+    span_count = 0
+    event_count = 0
+
+    def cell_for(label: str) -> CellTrace:
+        entry = cells.get(label)
+        if entry is None:
+            entry = CellTrace(label=label)
+            cells[label] = entry
+        return entry
+
+    for record in records:
+        kind = record.get("type")
+        if kind == "span":
+            span_count += 1
+            name = record.get("name", "")
+            attrs = record.get("attrs") or {}
+            if name in PHASE_SPANS:
+                phases[name] = phases.get(name, 0.0) + float(record.get("wall", 0.0))
+            elif name == "grid.cell" and "cell" in attrs:
+                entry = cell_for(str(attrs["cell"]))
+                entry.attempts += 1
+                entry.wall += float(record.get("wall") or 0.0)
+                entry.status = record.get("status", "ok")
+                if record.get("error"):
+                    entry.errors.append(str(record["error"]))
+        elif kind == "event":
+            event_count += 1
+            name = record.get("name", "")
+            attrs = record.get("attrs") or {}
+            label = str(attrs.get("cell", "")) if attrs else ""
+            if name == "grid.cache-hit":
+                cache_hits += 1
+            elif name == "grid.retry" and label:
+                cell_for(label).retries += 1
+            elif name == "grid.worker-crash" and label:
+                cell_for(label).crashes += 1
+            elif name == "grid.cell-timeout" and label:
+                cell_for(label).timeouts += 1
+        elif kind == "metrics":
+            # Last metrics record wins: the runner emits the run-level delta
+            # as its final act.
+            metrics = record.get("metrics", {}) or {}
+
+    # Order phases canonically, keeping any unknown phases at the end.
+    ordered = {name: phases[name] for name in PHASE_SPANS if name in phases}
+    for name, wall in phases.items():
+        ordered.setdefault(name, wall)
+    return TraceSummary(
+        meta=meta,
+        phases=ordered,
+        cells=cells,
+        cache_hits=cache_hits,
+        metrics=metrics,
+        span_count=span_count,
+        event_count=event_count,
+    )
+
+
+def render_summary(summary: TraceSummary, top: int = 10) -> str:
+    """Human-readable report for ``python -m repro.obs summary``."""
+    meta = summary.meta
+    lines = [
+        f"trace: run={meta.get('run')} root={meta.get('root')} "
+        f"format={meta.get('format')} "
+        f"({summary.span_count} spans, {summary.event_count} events)",
+    ]
+
+    if summary.phases:
+        total = sum(summary.phases.values())
+        lines.append("phases:")
+        for name, wall in summary.phases.items():
+            share = f" ({wall / total:.1%})" if total else ""
+            lines.append(f"  {name:<18} {wall:9.3f}s{share}")
+
+    cells = summary.cells
+    computed = sum(1 for c in cells.values() if c.status == "ok")
+    failed = len(summary.failed_cells)
+    lines.append(
+        f"cells: {summary.cache_hits} cached · {computed} computed "
+        f"· {failed} failed"
+    )
+
+    slowest = [c for c in summary.slowest_cells(top) if c.wall > 0]
+    if slowest:
+        lines.append(f"slowest cells (top {len(slowest)}):")
+        for rank, cell in enumerate(slowest, start=1):
+            attempts = f", {cell.attempts} attempts" if cell.attempts > 1 else ""
+            lines.append(f"  {rank}. {cell.label:<40} {cell.wall:8.3f}s{attempts}")
+
+    counters = summary.metrics.get("counters", {})
+    cache_bits = []
+    result_hits = counters.get("grid.cache.hits", 0)
+    result_misses = counters.get("grid.cache.misses", 0)
+    if result_hits or result_misses:
+        cache_bits.append(f"result {_fmt_rate(result_hits, result_misses)}")
+    memo_hits = counters.get("cost.evaluator.memo.hits", 0)
+    memo_misses = counters.get("cost.evaluator.memo.misses", 0)
+    if memo_hits or memo_misses:
+        cache_bits.append(f"evaluator memo {_fmt_rate(memo_hits, memo_misses)}")
+    if cache_bits:
+        lines.append("caches: " + "; ".join(cache_bits))
+
+    retries = counters.get("grid.retry.attempts", 0)
+    crashes = counters.get("grid.worker.crashes", 0)
+    timeouts = counters.get("grid.cell.timeouts", 0)
+    if retries or crashes or timeouts or failed:
+        lines.append(
+            f"faults: {retries} retries · {crashes} worker crashes "
+            f"· {timeouts} cell timeouts"
+        )
+        attributed = [
+            c
+            for c in cells.values()
+            if c.retries or c.crashes or c.timeouts or c.status == "error"
+        ]
+        for cell in sorted(attributed, key=lambda c: c.label):
+            bits = []
+            if cell.retries:
+                bits.append(f"{cell.retries} retries")
+            if cell.crashes:
+                bits.append(f"{cell.crashes} crashes")
+            if cell.timeouts:
+                bits.append(f"{cell.timeouts} timeouts")
+            if cell.status == "error":
+                reason = cell.errors[-1] if cell.errors else "failed"
+                bits.append(f"quarantined: {reason}")
+            lines.append(f"  {cell.label}: {'; '.join(bits)}")
+
+    exec_blocks = counters.get("exec.blocks_read", 0)
+    exec_seeks = counters.get("exec.seeks", 0)
+    if exec_blocks or exec_seeks:
+        histograms = summary.metrics.get("histograms", {})
+        cpu = histograms.get("exec.cpu_seconds", {})
+        cpu_bit = f", {cpu.get('total', 0.0):.3f}s cpu" if cpu else ""
+        lines.append(
+            f"executor: {exec_blocks} blocks read · {exec_seeks} seeks"
+            f" · {counters.get('exec.queries', 0)} queries{cpu_bit}"
+        )
+
+    online_checks = counters.get("online.checks", 0)
+    if online_checks:
+        lines.append(
+            f"online: {online_checks} checks · "
+            f"{counters.get('online.triggers', 0)} triggers · "
+            f"{counters.get('online.reorgs', 0)} reorgs · "
+            f"{counters.get('online.rejected', 0)} rejected"
+        )
+    return "\n".join(lines)

@@ -39,7 +39,6 @@ Policies
 from __future__ import annotations
 
 import abc
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
@@ -51,12 +50,21 @@ from repro.cost.disk import DEFAULT_DISK
 from repro.cost.evaluator import CostEvaluator
 from repro.cost.hdd import HDDCostModel
 from repro.metrics.payoff import payoff_fraction
+from repro.obs.metrics import counter as _obs_counter
+from repro.obs.trace import event as _obs_event, timed
 from repro.online.drift import CostRegretDetector
 from repro.online.stats import SlidingWindowStats, WorkloadStatistics
 from repro.online.stream import QueryStream
 from repro.workload.query import ResolvedQuery
 from repro.workload.schema import TableSchema
 from repro.workload.workload import Workload
+
+# Controller decision counters (docs/OBSERVABILITY.md), mirroring the
+# per-policy diagnostics so adaptive behaviour shows up in run telemetry.
+_ONLINE_CHECKS = _obs_counter("online.checks")
+_ONLINE_TRIGGERS = _obs_counter("online.triggers")
+_ONLINE_REORGS = _obs_counter("online.reorgs")
+_ONLINE_REJECTED = _obs_counter("online.rejected")
 
 
 @dataclass(frozen=True)
@@ -247,9 +255,9 @@ class O2PPolicy(OnlinePolicy):
         return row_partitioning(schema)
 
     def on_query(self, arrival: int, query: ResolvedQuery) -> Optional[Reorganization]:
-        started = time.perf_counter()
-        changed = self._stepper.step(query)
-        self.optimization_time += time.perf_counter() - started
+        with timed("online.o2p-step") as timer:
+            changed = self._stepper.step(query)
+        self.optimization_time += timer.wall
         if not changed:
             return None
         return Reorganization(self._stepper.layout(), reason="o2p-split")
@@ -410,17 +418,19 @@ class AdaptiveAdvisor(OnlinePolicy):
         if not self.detector.should_check(self.stats):
             return None
         self.checks += 1
+        _ONLINE_CHECKS.value += 1
         window_workload = self.stats.as_workload()
         evaluator = self._evaluator.rebind(window_workload)
         decision = self.detector.check(self.stats, self._deployed_masks, evaluator)
         if not decision.fired:
             return None
         self.triggers += 1
+        _ONLINE_TRIGGERS.value += 1
 
-        started = time.perf_counter()
-        algorithm = get_algorithm(self.algorithm, **self.algorithm_options)
-        result = algorithm.run(window_workload, self.cost_model)
-        self.optimization_time += time.perf_counter() - started
+        with timed("online.optimize", algorithm=self.algorithm) as timer:
+            algorithm = get_algorithm(self.algorithm, **self.algorithm_options)
+            result = algorithm.run(window_workload, self.cost_model)
+        self.optimization_time += timer.wall
 
         candidate = result.partitioning
         candidate_masks = candidate.as_masks()
@@ -446,6 +456,14 @@ class AdaptiveAdvisor(OnlinePolicy):
         ):
             self._deployed_masks = candidate_masks
             self.detector.notify_reorganized(self.stats.arrivals)
+            _ONLINE_REORGS.value += 1
+            _obs_event(
+                "online.reorg",
+                arrival=arrival,
+                regret=decision.regret,
+                payoff=payoff,
+                partitions=candidate.partition_count,
+            )
             return Reorganization(
                 candidate,
                 reason=(
@@ -454,5 +472,6 @@ class AdaptiveAdvisor(OnlinePolicy):
                 ),
             )
         self.rejected += 1
+        _ONLINE_REJECTED.value += 1
         self.detector.notify_reorganized(self.stats.arrivals)
         return None

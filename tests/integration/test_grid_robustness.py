@@ -331,7 +331,6 @@ class TestCliFailureSemantics:
         "--algorithms", "hillclimb,navathe",
         "--workloads", "telemetry:small",
         "--cost-models", "hdd",
-        "--quiet",
     ]
     FAULTS = FaultPlan.from_mapping(
         {"hillclimb/telemetry:small/hdd": {"kind": "raise", "message": "boom"}}

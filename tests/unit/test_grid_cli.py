@@ -93,7 +93,6 @@ class TestCacheResume:
         "--algorithms", "hillclimb",
         "--workloads", "cli:unit",
         "--cost-models", "hdd",
-        "--quiet",
     ]
 
     def test_second_invocation_resumes_from_cache(self, tmp_path, capsys):
@@ -104,7 +103,12 @@ class TestCacheResume:
         assert grid_main(args) == 0
         second = capsys.readouterr().out
         assert "100.0% cache hits" in second
-        assert first.split("Layout quality")[1] == second.split("Layout quality")[1]
+        # The tables (everything before the telemetry block, whose timings
+        # naturally differ run to run) are reproduced from the cache.
+        assert (
+            first.split("Layout quality")[1].split("\ntelemetry:")[0]
+            == second.split("Layout quality")[1].split("\ntelemetry:")[0]
+        )
 
     def test_refresh_bypasses_the_cache(self, tmp_path, capsys):
         args = self.ARGS + ["--cache-dir", str(tmp_path / "cache")]
@@ -114,9 +118,7 @@ class TestCacheResume:
         assert "1 computed" in capsys.readouterr().out
 
     def test_progress_lines_name_the_served_cells(self, tmp_path, capsys):
-        args = [a for a in self.ARGS if a != "--quiet"] + [
-            "--cache-dir", str(tmp_path / "cache")
-        ]
+        args = self.ARGS + ["--cache-dir", str(tmp_path / "cache")]
         assert grid_main(args) == 0
         assert "computed hillclimb/cli:unit/hdd" in capsys.readouterr().out
         assert grid_main(args) == 0
@@ -131,7 +133,6 @@ class TestMeasuredBackendFlow:
         "--cost-models", "hdd",
         "--backend", "measured",
         "--measured-rows", "2000",
-        "--quiet",
     ]
 
     def test_measured_run_prints_agreement_tables(self, tmp_path, capsys):
@@ -150,7 +151,10 @@ class TestMeasuredBackendFlow:
         second = capsys.readouterr().out
         assert "100.0% cache hits" in second
         marker = "Estimated vs measured agreement"
-        assert first.split(marker)[1] == second.split(marker)[1]
+        assert (
+            first.split(marker)[1].split("\ntelemetry:")[0]
+            == second.split(marker)[1].split("\ntelemetry:")[0]
+        )
 
     def test_changed_data_seed_recomputes(self, tmp_path, capsys):
         cache = ["--cache-dir", str(tmp_path / "cache")]
@@ -158,3 +162,35 @@ class TestMeasuredBackendFlow:
         capsys.readouterr()
         assert grid_main(self.ARGS + cache + ["--data-seed", "9"]) == 0
         assert "2 computed" in capsys.readouterr().out
+
+
+class TestQuietMode:
+    """``--quiet`` prints the headline tables and nothing else on stdout."""
+
+    ARGS = [
+        "--grid", "tiny",
+        "--algorithms", "hillclimb",
+        "--workloads", "cli:unit",
+        "--cost-models", "hdd",
+        "--quiet",
+    ]
+
+    def test_quiet_prints_only_the_headline_tables(self, tmp_path, capsys):
+        args = self.ARGS + ["--cache-dir", str(tmp_path / "cache")]
+        assert grid_main(args) == 0
+        captured = capsys.readouterr()
+        assert "Layout quality" in captured.out
+        # No spec shape, no progress lines, no accounting, no telemetry.
+        assert "cells" not in captured.out
+        assert "computed hillclimb" not in captured.out
+        assert "telemetry:" not in captured.out
+        assert captured.err == ""
+
+    def test_quiet_suppresses_cache_accounting_on_resume(self, tmp_path, capsys):
+        args = self.ARGS + ["--cache-dir", str(tmp_path / "cache")]
+        assert grid_main(args) == 0
+        capsys.readouterr()
+        assert grid_main(args) == 0
+        out = capsys.readouterr().out
+        assert "Layout quality" in out
+        assert "cache hits" not in out

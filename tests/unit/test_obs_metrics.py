@@ -1,0 +1,135 @@
+"""Unit tests for :mod:`repro.obs.metrics`.
+
+The metrics layer underpins cross-process accounting: workers snapshot,
+execute, and ship ``delta(baseline)`` back over the pipe; the supervisor
+``merge``s the deltas.  These tests pin the snapshot/delta/merge algebra and
+the in-place reset contract that keeps module-held instrument references
+valid.
+"""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SNAPSHOT_FORMAT,
+    counter,
+    registry,
+)
+
+
+class TestInstruments:
+    def test_counter_inc_and_bare_increment(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        c.value += 1  # the hot-path form
+        assert c.value == 6
+
+    def test_gauge_last_value_wins(self):
+        g = Gauge("x")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_tracks_count_total_min_max_mean(self):
+        h = Histogram("x")
+        assert h.mean == 0.0
+        for value in (2.0, 8.0, 5.0):
+            h.observe(value)
+        assert h.count == 3
+        assert h.total == 15.0
+        assert h.min == 2.0 and h.max == 8.0
+        assert h.mean == 5.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_snapshot_omits_zero_counters_and_empty_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("zero")
+        reg.counter("live").inc(2)
+        reg.histogram("empty")
+        reg.histogram("seen").observe(1.0)
+        snap = reg.snapshot()
+        assert snap["format"] == SNAPSHOT_FORMAT
+        assert snap["counters"] == {"live": 2}
+        assert list(snap["histograms"]) == ["seen"]
+
+    def test_delta_subtracts_the_baseline(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.histogram("h").observe(10.0)
+        baseline = reg.snapshot()
+        reg.counter("c").inc(2)
+        reg.histogram("h").observe(4.0)
+        delta = reg.delta(baseline)
+        assert delta["counters"] == {"c": 2}
+        assert delta["histograms"]["h"]["count"] == 1
+        assert delta["histograms"]["h"]["total"] == pytest.approx(4.0)
+
+    def test_delta_is_empty_when_nothing_changed(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.histogram("h").observe(1.0)
+        delta = reg.delta(reg.snapshot())
+        assert delta["counters"] == {}
+        assert delta["histograms"] == {}
+
+    def test_merge_adds_counters_and_folds_histograms(self):
+        parent = MetricsRegistry()
+        parent.counter("c").inc(1)
+        parent.histogram("h").observe(5.0)
+        parent.merge(
+            {
+                "counters": {"c": 2, "new": 3},
+                "gauges": {"g": 7.5},
+                "histograms": {"h": {"count": 2, "total": 3.0, "min": 1.0, "max": 2.0}},
+            }
+        )
+        assert parent.counter("c").value == 3
+        assert parent.counter("new").value == 3
+        assert parent.gauge("g").value == 7.5
+        h = parent.histogram("h")
+        assert h.count == 3
+        assert h.total == pytest.approx(8.0)
+        assert h.min == 1.0 and h.max == 5.0
+
+    def test_worker_delta_merge_roundtrip(self):
+        # The grid's scheme: fork inherits parent values, the delta cancels
+        # them, the merged parent sees only work done inside the task.
+        parent = MetricsRegistry()
+        parent.counter("c").inc(10)
+        worker = MetricsRegistry()
+        worker.merge(parent.snapshot())  # "fork": child starts at parent state
+        baseline = worker.snapshot()
+        worker.counter("c").inc(4)
+        parent.merge(worker.delta(baseline))
+        assert parent.counter("c").value == 14
+
+    def test_reset_zeroes_in_place(self):
+        reg = MetricsRegistry()
+        held = reg.counter("c")
+        held.inc(5)
+        hist = reg.histogram("h")
+        hist.observe(2.0)
+        reg.reset()
+        assert held.value == 0
+        assert hist.count == 0 and hist.min is None and hist.max is None
+        # The held reference is still the registered instrument.
+        assert reg.counter("c") is held
+
+
+class TestModuleGlobals:
+    def test_module_counter_lives_on_the_global_registry(self):
+        c = counter("test.obs.metrics.probe")
+        before = c.value
+        c.inc()
+        assert registry().counter("test.obs.metrics.probe").value == before + 1
