@@ -1,0 +1,50 @@
+"""Table 7 on a real engine: the same layouts timed on embedded SQLite.
+
+The simulated DBMS-X benchmark asserts the paper's disk-bound shape
+(Row ≫ Column).  Warm in-memory SQLite inverts that pairing by design — byte
+savings are cheap out of the page cache while rowid reconstruction joins cost
+a b-tree probe per row — so the engine benchmark asserts the shape that *does*
+transfer: HillClimb beats Column under both record encodings, because grouped
+layouts avoid unnecessary tuple-reconstruction joins.  The divergence is
+documented in ``docs/ENGINE_X.md``.
+"""
+
+from repro.experiments import engine_x
+from repro.experiments.table7 import format_table7
+
+from benchmarks.conftest import SCALE_FACTOR, run_once
+
+
+def test_bench_table7_engine_x_runtimes(benchmark):
+    rows = run_once(
+        benchmark,
+        engine_x.engine_x_runtimes,
+        scale_factor=SCALE_FACTOR,
+        rows=engine_x.DEFAULT_ENGINE_ROWS,
+    )
+    print("\n" + format_table7(rows))
+
+    assert all(row["engine"] == engine_x.ENGINE_LABEL for row in rows)
+    by_encoding = {row["encoding"]: row for row in rows}
+    assert set(by_encoding) == {name for name, _ in engine_x.ENCODINGS}
+    for row in rows:
+        # The paper's grouping claim on a real engine: HillClimb's grouped
+        # layout beats full vertical partitioning by skipping reconstruction
+        # joins.  (Timing noise guard: require a real margin, not a tie.)
+        assert row["hillclimb"] < row["column"] * 0.98
+        # Every layout actually executed: strictly positive wall clock.
+        assert all(row[layout] > 0 for layout in ("row", "column", "hillclimb"))
+
+
+def test_bench_table7_combined_report(benchmark):
+    report = run_once(
+        benchmark,
+        engine_x.table7_report,
+        scale_factor=SCALE_FACTOR,
+        rows=engine_x.DEFAULT_ENGINE_ROWS,
+    )
+    print("\n" + report)
+    # Simulated and measured rows render in one table under one header.
+    assert report.count("engine") >= 1
+    assert "dbms-x (simulated)" in report
+    assert "sqlite" in report

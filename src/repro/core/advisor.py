@@ -230,25 +230,42 @@ class LayoutAdvisor:
         data_seed: int = 0,
         include_baselines: bool = True,
         algorithms: Optional[Sequence[str]] = None,
+        backend: str = "measured",
+        page_size: Optional[int] = None,
     ):
-        """Validate this advisor's estimated costs against measured execution.
+        """Validate this advisor's estimated costs against real execution.
 
         Runs every configured algorithm on ``workload`` (exactly as
         :meth:`recommend` does), then executes each recommended layout — plus
         the Row and Column baselines unless ``include_baselines`` is False —
-        on the vectorized scan executor (:mod:`repro.exec`) at ``rows``
-        measured rows of seed-``data_seed`` synthetic data, and compares the
-        measured I/O times with the cost model's predictions at the same
-        scale.  Returns the
-        :class:`~repro.exec.validation.CostValidationReport`; its
+        on the chosen execution backend at ``rows`` measured rows of
+        seed-``data_seed`` synthetic data, and compares the execution times
+        with the cost model's predictions at the same scale.
+
+        ``backend="measured"`` (the default) uses the vectorized scan
+        executor (:mod:`repro.exec`) and returns the
+        :class:`~repro.exec.validation.CostValidationReport`; it requires a
+        disk-based cost model (the main-memory model has no buffered-scan
+        counterpart).  ``backend="sqlite"`` materialises each layout as real
+        SQLite tables (:mod:`repro.engine_x`, optionally at ``page_size``)
+        and returns the
+        :class:`~repro.engine_x.validation.EngineValidationReport`; any cost
+        model works, and the comparison is a ranking.  Either way, a
         ``rank_correlation`` near 1.0 means every comparative conclusion the
-        estimates support survives execution.  Requires a disk-based cost
-        model (the main-memory model has no buffered-scan counterpart).
+        estimates support survives execution.
         """
         # Imported here to avoid a circular import at package load time.
         from repro.exec.validation import require_measurable, validate_layouts
 
-        require_measurable(self.cost_model)
+        if backend not in ("measured", "sqlite"):
+            raise ValueError(
+                f"unknown validation backend {backend!r}; "
+                f"use 'measured' or 'sqlite'"
+            )
+        if backend == "measured":
+            require_measurable(self.cost_model)
+            if page_size is not None:
+                raise ValueError("page_size applies to backend='sqlite' only")
         names = tuple(algorithms) if algorithms is not None else self.algorithm_names
         layouts: Dict[str, Partitioning] = {}
         for name in names:
@@ -258,6 +275,17 @@ class LayoutAdvisor:
         if include_baselines:
             layouts.setdefault("row", row_partitioning(workload.schema))
             layouts.setdefault("column", column_partitioning(workload.schema))
+        if backend == "sqlite":
+            from repro.engine_x.validation import validate_layouts_sqlite
+
+            return validate_layouts_sqlite(
+                workload,
+                layouts,
+                cost_model=self.cost_model,
+                rows=rows,
+                data_seed=data_seed,
+                page_size=page_size,
+            )
         return validate_layouts(
             workload,
             layouts,

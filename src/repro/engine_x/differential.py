@@ -1,0 +1,263 @@
+"""Randomized three-backend differential harness.
+
+One seed determines a complete comparison case: a small schema, a layout over
+it, and a workload of nested-footprint queries.  :func:`run_differential`
+pushes the same case through all three backends —
+
+* **estimated**: the analytical HDD model's per-query costs,
+* **measured**: the numpy replay of :mod:`repro.exec` (traced I/O priced
+  deterministically),
+* **sqlite**: real engine wall clock via :mod:`repro.engine_x`,
+
+— and packages per-query numbers plus scan accounting from each backend's own
+mechanism: closed formulas (estimated), the traced buffer walk (measured), and
+the database catalog + ``count(*)`` results (sqlite).  The differential tests
+assert that the accounting agrees bit for bit and that the per-query rankings
+agree (tie-aware Spearman) across every seed.
+
+Case construction keeps the rankings *decidable* without making them trivial:
+group byte-volumes grow geometrically (each group adds at least half the
+cumulative volume so far, so adjacent query footprints differ by >= 1.5x —
+well above warm-run timing noise at the default scale), group membership,
+column widths/types, schema order and query weights are all seed-random, and
+query ``k`` references groups ``1..k`` so every backend must rank by a mix of
+scan volume *and* reconstruction joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.partitioning import Partitioning
+from repro.cost.hdd import HDDCostModel
+from repro.engine_x.executor import DEFAULT_REPEATS, SQLiteExecutor
+from repro.exec.executor import VectorizedScanExecutor
+from repro.metrics.agreement import spearman_rank_correlation
+from repro.storage.data import generate_table_data
+from repro.workload.query import ResolvedQuery
+from repro.workload.schema import Column, TableSchema
+from repro.workload.workload import Workload
+
+#: Default measured scale of a differential case — large enough that adjacent
+#: query footprints differ by hundreds of microseconds of warm scan time,
+#: small enough that a 30-seed sweep stays in tier-1 budget.
+DEFAULT_DIFFERENTIAL_ROWS = 6_000
+
+#: Column groups (and therefore queries) per case.
+_GROUPS = 5
+
+
+@dataclass(frozen=True)
+class DifferentialCase:
+    """One seed's schema + layout + workload."""
+
+    seed: int
+    workload: Workload
+    partitioning: Partitioning
+
+
+@dataclass(frozen=True)
+class QueryComparison:
+    """One query's numbers from all three backends.
+
+    The three ``(rows, bytes)`` scan-accounting pairs come from independent
+    mechanisms and must be identical; the three cost/time numbers live on
+    different scales and are compared by rank only.
+    """
+
+    query: str
+    estimated_cost: float
+    measured_io_seconds: float
+    sqlite_seconds: float
+    estimated_scan: Tuple[int, int]
+    measured_scan: Tuple[int, int]
+    sqlite_scan: Tuple[int, int]
+
+    @property
+    def scan_counts_agree(self) -> bool:
+        """Whether all three backends report identical scanned rows/bytes."""
+        return self.estimated_scan == self.measured_scan == self.sqlite_scan
+
+
+@dataclass
+class DifferentialResult:
+    """The full three-backend comparison of one seed."""
+
+    case: DifferentialCase
+    comparisons: List[QueryComparison]
+
+    @property
+    def seed(self) -> int:
+        """The seed the case was generated from."""
+        return self.case.seed
+
+    def _ranks(self, attribute: str) -> List[float]:
+        return [getattr(comparison, attribute) for comparison in self.comparisons]
+
+    @property
+    def spearman_estimated_sqlite(self) -> float:
+        """Ranking agreement: analytical cost vs real engine wall clock."""
+        return spearman_rank_correlation(
+            self._ranks("estimated_cost"), self._ranks("sqlite_seconds")
+        )
+
+    @property
+    def spearman_estimated_measured(self) -> float:
+        """Ranking agreement: analytical cost vs traced replay I/O time."""
+        return spearman_rank_correlation(
+            self._ranks("estimated_cost"), self._ranks("measured_io_seconds")
+        )
+
+    @property
+    def spearman_measured_sqlite(self) -> float:
+        """Ranking agreement: traced replay vs real engine wall clock."""
+        return spearman_rank_correlation(
+            self._ranks("measured_io_seconds"), self._ranks("sqlite_seconds")
+        )
+
+    @property
+    def scan_counts_agree(self) -> bool:
+        """Whether every query's scan accounting is backend-identical."""
+        return all(comparison.scan_counts_agree for comparison in self.comparisons)
+
+    def describe(self) -> str:
+        """One-line agreement summary."""
+        return (
+            f"seed {self.seed}: est~sqlite {self.spearman_estimated_sqlite:.2f}, "
+            f"est~measured {self.spearman_estimated_measured:.2f}, "
+            f"counts {'agree' if self.scan_counts_agree else 'DISAGREE'}"
+        )
+
+
+def random_case(seed: int, rows: int = DEFAULT_DIFFERENTIAL_ROWS) -> DifferentialCase:
+    """Generate one seed's schema, layout and workload (deterministic).
+
+    The first group is a pair of 8-byte numeric key columns (covering the
+    INTEGER and REAL storage classes); later groups hold seed-random character
+    columns whose byte volume grows geometrically.  Schema column order is
+    shuffled so groups are non-contiguous, and query ``k`` references all
+    attributes of groups ``1..k``.
+    """
+    rng = np.random.default_rng(seed)
+    group_specs: List[List[Tuple[int, str]]] = [[(8, "bigint"), (8, "double")]]
+    cumulative = 16
+    for _ in range(1, _GROUPS):
+        target = max(10, int(round(cumulative * rng.uniform(0.55, 1.1))))
+        if target >= 24 and rng.random() < 0.5:
+            first = int(rng.integers(8, target - 7))
+            spec = [(first, "char"), (target - first, "char")]
+        else:
+            spec = [(target, "char")]
+        group_specs.append(spec)
+        cumulative += target
+
+    columns: List[Column] = []
+    group_members: List[List[str]] = []
+    for group_index, spec in enumerate(group_specs):
+        members = []
+        for column_index, (width, sql_type) in enumerate(spec):
+            name = f"a{group_index}_{column_index}"
+            columns.append(Column(name, width, sql_type))
+            members.append(name)
+        group_members.append(members)
+
+    order = rng.permutation(len(columns))
+    schema = TableSchema(
+        name=f"diff{seed}",
+        columns=[columns[index] for index in order],
+        row_count=int(rows),
+    )
+    partitioning = Partitioning(
+        schema,
+        [
+            frozenset(schema.index_of(name) for name in members)
+            for members in group_members
+        ],
+    )
+
+    queries = []
+    referenced: List[str] = []
+    for group_index, members in enumerate(group_members):
+        referenced = referenced + members
+        queries.append(
+            ResolvedQuery(
+                name=f"Q{group_index + 1}",
+                attribute_indices=tuple(
+                    sorted(schema.index_of(name) for name in referenced)
+                ),
+                weight=round(float(rng.uniform(0.5, 2.0)), 2),
+                selectivity=1.0,
+            )
+        )
+    workload = Workload(schema, queries, name=f"differential seed {seed}")
+    return DifferentialCase(seed=int(seed), workload=workload, partitioning=partitioning)
+
+
+def run_differential(
+    seed: int,
+    rows: int = DEFAULT_DIFFERENTIAL_ROWS,
+    repeats: int = DEFAULT_REPEATS,
+    database_dir: Optional[str] = None,
+) -> DifferentialResult:
+    """Run one seed's case through all three backends.
+
+    All backends share one generated dataset and one layout; each computes its
+    scan accounting through its own mechanism (formulas / traced walk /
+    catalog + ``count(*)``).
+    """
+    case = random_case(seed, rows=rows)
+    workload, layout = case.workload, case.partitioning
+    schema = workload.schema
+    model = HDDCostModel()
+
+    estimated: Dict[str, float] = model.per_query_costs(workload, layout)
+    estimated_scans: Dict[str, Tuple[int, int]] = {}
+    for query in workload:
+        referenced = layout.referenced_partitions(query)
+        estimated_scans[query.name] = (
+            len(referenced) * schema.row_count,
+            sum(
+                partition.row_size(schema) * schema.row_count
+                for partition in referenced
+            ),
+        )
+
+    data = generate_table_data(schema, random_state=seed)
+    measured_run = VectorizedScanExecutor(
+        layout, rows=rows, data_seed=seed, data=data
+    ).execute_workload(workload)
+    measured = {run.query: run for run in measured_run.runs}
+
+    with SQLiteExecutor(
+        layout,
+        rows=rows,
+        data_seed=seed,
+        repeats=repeats,
+        database_dir=database_dir,
+        data=data,
+    ) as executor:
+        engine_run = executor.execute_workload(workload)
+    engine = {run.query: run for run in engine_run.runs}
+
+    comparisons = [
+        QueryComparison(
+            query=query.name,
+            estimated_cost=estimated[query.name],
+            measured_io_seconds=measured[query.name].io_seconds,
+            sqlite_seconds=engine[query.name].seconds,
+            estimated_scan=estimated_scans[query.name],
+            measured_scan=(
+                measured[query.name].rows_scanned,
+                measured[query.name].bytes_scanned,
+            ),
+            sqlite_scan=(
+                engine[query.name].rows_scanned,
+                engine[query.name].bytes_scanned,
+            ),
+        )
+        for query in workload
+    ]
+    return DifferentialResult(case=case, comparisons=comparisons)

@@ -1,0 +1,443 @@
+"""Real-engine execution backend: run layouts on embedded SQLite.
+
+The estimated backend *predicts* workload runtimes and the measured backend
+(:mod:`repro.exec`) *replays* them on a simulator we wrote ourselves;
+:class:`SQLiteExecutor` is the third rung — it materialises a
+:class:`~repro.core.partitioning.Partitioning` as real SQLite tables (one per
+column group, shared rowid key, deterministic data from
+:mod:`repro.storage.data`), compiles each query into SQL over those tables
+(:mod:`repro.engine_x.sql`) and times warm repeated executions.  It is the
+repository's first check of the cost models against an engine whose scan,
+page and join machinery we did not implement.
+
+What is measured versus derived
+-------------------------------
+
+* **Wall clock is genuinely measured** — per query, one warm-up execution
+  followed by :attr:`SQLiteExecutor.repeats` timed executions reduced by a
+  trimmed mean (min and max dropped).  The database lives in a temporary file
+  with a page cache large enough to hold it, so warm runs time SQLite's
+  page-decode + projection + join machinery, not the host filesystem.  Wall
+  clock is not deterministic; grid payloads keep it in their ``timing``
+  section, never in content-hashed sections.
+* **Scanned-row/byte accounting is derived from the database**, not from the
+  executor's input: the layout is read back from the catalog
+  (:func:`repro.engine_x.sql.layout_from_connection`), each query's scanned
+  rows come from its ``count(*)`` result, and bytes price the referenced
+  groups' logical row widths.  The differential tests require this accounting
+  to agree bit for bit with the estimated backend's closed formulas and the
+  measured backend's traced walk.
+
+Execution runs at a reduced measured scale exactly like the measured backend:
+``rows`` (default :data:`repro.exec.executor.DEFAULT_MEASURED_ROWS`) capped at
+the schema's row count, data seeded by ``data_seed``.
+
+The database directory resolves, in order: the ``database_dir`` argument, the
+:data:`TMPDIR_ENV_VAR` environment variable, the system temp directory.  A
+directory that cannot host a database makes the constructor raise — under the
+grid's fault-tolerant runner that becomes a quarantined ``CellFailure``, not
+a crash (see ``docs/ROBUSTNESS.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.partitioning import Partitioning
+from repro.engine_x.sql import (
+    CompiledQuery,
+    compile_query,
+    create_layout_sql,
+    insert_sql,
+    layout_from_connection,
+)
+from repro.obs.metrics import counter as _obs_counter, histogram as _obs_histogram
+from repro.obs.trace import timed
+from repro.storage.data import generate_table_data
+from repro.workload.query import ResolvedQuery
+from repro.workload.workload import Workload
+
+# Engine telemetry (docs/OBSERVABILITY.md): materialisation volume plus the
+# genuinely measured per-query wall clock.
+_ENGINE_QUERIES = _obs_counter("engine_x.queries")
+_ENGINE_TABLES = _obs_counter("engine_x.tables_created")
+_ENGINE_ROWS = _obs_counter("engine_x.rows_inserted")
+_ENGINE_SECONDS = _obs_histogram("engine_x.query_seconds")
+
+#: Environment variable overriding where the temporary databases live (used by
+#: the robustness tests to simulate an unusable scratch directory).
+TMPDIR_ENV_VAR = "REPRO_ENGINE_X_TMPDIR"
+
+#: SQLite's default page size, and ours.
+DEFAULT_PAGE_SIZE = 4096
+
+#: Page sizes SQLite accepts: powers of two in [512, 65536].
+PAGE_SIZES = (512, 1024, 2048, 4096, 8192, 16384, 32768, 65536)
+
+#: Timed executions per query (after one warm-up); reduced by a trimmed mean.
+DEFAULT_REPEATS = 5
+
+#: Rows per executemany batch during materialisation.
+_INSERT_BATCH = 4096
+
+
+def trimmed_mean(values: Sequence[float]) -> float:
+    """Mean with the min and max dropped (plain mean below 3 samples).
+
+    The standard cheap robustification of small wall-clock samples: one
+    scheduler hiccup lands in the dropped max instead of the estimate.
+    """
+    if not values:
+        raise ValueError("trimmed_mean needs at least one value")
+    ordered = sorted(values)
+    if len(ordered) >= 3:
+        ordered = ordered[1:-1]
+    return sum(ordered) / len(ordered)
+
+
+def resolve_database_dir(database_dir: Optional[str] = None) -> str:
+    """The directory temporary databases are created in.
+
+    Explicit argument beats the :data:`TMPDIR_ENV_VAR` environment variable
+    beats the system temp directory.  The path is returned unverified —
+    creation failures surface where they belong, as the constructor's error.
+    """
+    if database_dir is not None:
+        return str(database_dir)
+    env = os.environ.get(TMPDIR_ENV_VAR)
+    if env:
+        return env
+    return tempfile.gettempdir()
+
+
+def _column_values(array: np.ndarray) -> List[object]:
+    """One column's array as SQLite-bindable Python values."""
+    # int64 -> int, float64 -> float, S<width> -> bytes; tolist() does all
+    # three conversions and is the fastest bulk path numpy offers.
+    return array.tolist()
+
+
+@dataclass(frozen=True)
+class EngineRun:
+    """One query's timed execution on the engine.
+
+    ``seconds`` is the trimmed mean of the warm repeats (wall clock — not
+    deterministic); the scan-accounting fields are deterministic functions of
+    the layout the engine reported through its catalog.
+    """
+
+    query: str
+    weight: float
+    groups_read: int
+    #: Rows the query's scan visited: result cardinality x referenced groups.
+    rows_scanned: int
+    #: Logical bytes the scan covered: referenced groups' row widths x rows.
+    bytes_scanned: int
+    #: The query's ``count(*)`` — must equal the materialised row count.
+    result_rows: int
+    #: Trimmed-mean warm wall clock of one execution.
+    seconds: float
+    #: The individual timed repeats behind ``seconds``.
+    samples: tuple
+
+    @property
+    def weighted_seconds(self) -> float:
+        """This query's contribution to the workload total."""
+        return self.weight * self.seconds
+
+
+@dataclass
+class EngineWorkloadRun:
+    """All per-query engine runs of one workload plus weighted totals."""
+
+    workload_name: str
+    rows: int
+    data_seed: int
+    page_size: int
+    without_rowid: bool
+    runs: List[EngineRun]
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Weighted wall clock — the number compared against predictions."""
+        return sum(run.weighted_seconds for run in self.runs)
+
+    @property
+    def rows_scanned(self) -> int:
+        """Rows visited executing each query once (unweighted total)."""
+        return sum(run.rows_scanned for run in self.runs)
+
+    @property
+    def bytes_scanned(self) -> int:
+        """Logical bytes covered executing each query once (unweighted)."""
+        return sum(run.bytes_scanned for run in self.runs)
+
+    def seconds_by_query(self) -> Dict[str, float]:
+        """Per-query trimmed-mean seconds keyed by query name."""
+        return {run.query: run.seconds for run in self.runs}
+
+    def describe(self) -> str:
+        """One-line summary of the replay."""
+        return (
+            f"sqlite {self.workload_name!r} @ {self.rows:,} rows "
+            f"(page {self.page_size}): {self.elapsed_seconds * 1e3:.2f} ms, "
+            f"{self.bytes_scanned / 1e6:.2f} MB scanned"
+        )
+
+
+class SQLiteExecutor:
+    """Materialises a layout into SQLite tables and times workloads on them.
+
+    Parameters
+    ----------
+    partitioning:
+        The layout to materialise; rebound to the measured scale like the
+        measured backend does.
+    rows:
+        Measured row count; capped at the schema's row count, defaulting to
+        :data:`repro.exec.executor.DEFAULT_MEASURED_ROWS`.
+    data_seed:
+        Seed of the deterministic synthetic data generator.
+    page_size:
+        SQLite page size (``PRAGMA page_size``); one of :data:`PAGE_SIZES`.
+    without_rowid:
+        Declare group tables ``WITHOUT ROWID`` — the fixed-width record
+        analogue of Table 7's dictionary encoding (see ``docs/ENGINE_X.md``).
+    repeats / warmup:
+        Timed executions per query (trimmed mean) after ``warmup`` untimed
+        ones.
+    database_dir:
+        Where the temporary database file lives (see
+        :func:`resolve_database_dir`).
+    data:
+        Optional pre-generated column arrays shared across executors of one
+        schema (the same contract as the measured backend's ``data=``).
+    """
+
+    def __init__(
+        self,
+        partitioning: Partitioning,
+        rows: Optional[int] = None,
+        data_seed: int = 0,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        without_rowid: bool = False,
+        repeats: int = DEFAULT_REPEATS,
+        warmup: int = 1,
+        database_dir: Optional[str] = None,
+        data: Optional[Dict[str, np.ndarray]] = None,
+    ) -> None:
+        from repro.exec.executor import DEFAULT_MEASURED_ROWS
+
+        if page_size not in PAGE_SIZES:
+            raise ValueError(
+                f"page_size must be one of {PAGE_SIZES}, got {page_size!r}"
+            )
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        if warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        source_schema = partitioning.schema
+        requested = DEFAULT_MEASURED_ROWS if rows is None else int(rows)
+        if requested < 1:
+            raise ValueError("rows must be >= 1")
+        measured_rows = max(1, min(requested, source_schema.row_count))
+        self.schema = source_schema.with_row_count(measured_rows)
+        self.partitioning = Partitioning(
+            self.schema, [partition.attributes for partition in partitioning.partitions]
+        )
+        self.data_seed = int(data_seed)
+        self.page_size = int(page_size)
+        self.without_rowid = bool(without_rowid)
+        self.repeats = int(repeats)
+        self.warmup = int(warmup)
+
+        if data is None:
+            data = generate_table_data(self.schema, random_state=self.data_seed)
+        for column in self.schema.columns:
+            array = data.get(column.name)
+            if array is None or len(array) != measured_rows:
+                raise ValueError(
+                    f"data for column {column.name!r} must hold exactly "
+                    f"{measured_rows} values"
+                )
+        self.data = data
+
+        directory = resolve_database_dir(database_dir)
+        handle, self.database_path = tempfile.mkstemp(
+            dir=directory, prefix=f"engine_x_{self.schema.name}_", suffix=".sqlite"
+        )
+        os.close(handle)
+        self._connection: Optional[sqlite3.Connection] = None
+        try:
+            self._connection = sqlite3.connect(self.database_path)
+            self._materialize()
+        except BaseException:
+            self.close()
+            raise
+        #: The layout as the database catalog reports it — the round-trip of
+        #: the DDL, and the basis of all scan accounting.
+        self.materialized_layout = layout_from_connection(self._connection, self.schema)
+        self._compiled: Dict[str, CompiledQuery] = {}
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection and delete the temporary database file."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+        try:
+            os.unlink(self.database_path)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SQLiteExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The live connection (raises after :meth:`close`)."""
+        if self._connection is None:
+            raise ValueError("executor is closed")
+        return self._connection
+
+    @property
+    def rows(self) -> int:
+        """The measured row count the tables were materialised at."""
+        return self.schema.row_count
+
+    # -- materialisation -------------------------------------------------------
+
+    def _materialize(self) -> None:
+        connection = self._connection
+        # Page size must be set before the first table is created; the rest
+        # trades durability for determinism-friendly speed and keeps warm runs
+        # inside SQLite's own page cache (sized to hold the whole database).
+        connection.execute(f"PRAGMA page_size = {self.page_size}")
+        connection.execute("PRAGMA journal_mode = OFF")
+        connection.execute("PRAGMA synchronous = OFF")
+        connection.execute("PRAGMA cache_size = -65536")
+        connection.execute("PRAGMA temp_store = MEMORY")
+        with timed("engine_x.materialize", schema=self.schema.name):
+            rids = range(1, self.rows + 1)
+            for index, statement in enumerate(
+                create_layout_sql(self.partitioning, without_rowid=self.without_rowid)
+            ):
+                connection.execute(statement)
+                _ENGINE_TABLES.value += 1
+                partition = self.partitioning.partitions[index]
+                columns = [
+                    _column_values(self.data[name])
+                    for name in partition.attribute_names(self.schema)
+                ]
+                sql = insert_sql(self.partitioning, index)
+                batch: List[tuple] = []
+                for record in zip(rids, *columns):
+                    batch.append(record)
+                    if len(batch) >= _INSERT_BATCH:
+                        connection.executemany(sql, batch)
+                        batch.clear()
+                if batch:
+                    connection.executemany(sql, batch)
+                _ENGINE_ROWS.value += self.rows
+            connection.commit()
+
+    # -- execution -------------------------------------------------------------
+
+    def compiled(self, query: ResolvedQuery) -> CompiledQuery:
+        """The (memoized) compiled form of one query against this layout."""
+        compiled = self._compiled.get(query.name)
+        if compiled is None or compiled.query != query.name:
+            compiled = compile_query(self.partitioning, query)
+            self._compiled[query.name] = compiled
+        return compiled
+
+    def execute_query(self, query: ResolvedQuery) -> EngineRun:
+        """Time one query: warm-up, then ``repeats`` runs, trimmed mean.
+
+        Each execution fetches the single aggregate row, so the engine scans
+        every referenced value but Python handles one tuple per run.  The
+        ``count(*)`` column is cross-checked against the materialised row
+        count — a join that dropped or duplicated rows would be caught here,
+        not silently timed.
+        """
+        compiled = self.compiled(query)
+        connection = self.connection
+        result_rows = None
+        with timed("engine_x.execute", query=query.name):
+            for _ in range(self.warmup):
+                connection.execute(compiled.sql).fetchone()
+            samples = []
+            for _ in range(self.repeats):
+                started = time.perf_counter()
+                row = connection.execute(compiled.sql).fetchone()
+                samples.append(time.perf_counter() - started)
+                result_rows = int(row[0])
+        if self.warmup + self.repeats and result_rows != self.rows:
+            raise ValueError(
+                f"query {query.name!r} visited {result_rows} rows, "
+                f"expected {self.rows} (rowid join broke reconstruction)"
+            )
+        # Accounting from the catalog's view of the layout: every referenced
+        # group is scanned in full, so rows multiply by the group count and
+        # bytes price each group's logical row width.
+        referenced = self.materialized_layout.referenced_partitions(query)
+        rows_scanned = result_rows * len(referenced)
+        bytes_scanned = sum(
+            partition.row_size(self.schema) * result_rows for partition in referenced
+        )
+        seconds = trimmed_mean(samples)
+        _ENGINE_QUERIES.value += 1
+        _ENGINE_SECONDS.observe(seconds)
+        return EngineRun(
+            query=query.name,
+            weight=query.weight,
+            groups_read=len(referenced),
+            rows_scanned=rows_scanned,
+            bytes_scanned=bytes_scanned,
+            result_rows=result_rows,
+            seconds=seconds,
+            samples=tuple(samples),
+        )
+
+    def execute_workload(self, workload: Workload) -> EngineWorkloadRun:
+        """Time every query of ``workload`` and collect the runs."""
+        if workload.schema.attribute_names != self.schema.attribute_names:
+            raise ValueError(
+                f"workload {workload.name!r} is over different attributes than "
+                f"the materialised table {self.schema.name!r}"
+            )
+        runs = [self.execute_query(query) for query in workload]
+        return EngineWorkloadRun(
+            workload_name=workload.name,
+            rows=self.rows,
+            data_seed=self.data_seed,
+            page_size=self.page_size,
+            without_rowid=self.without_rowid,
+            runs=runs,
+        )
+
+    # -- the estimated side of the comparison ----------------------------------
+
+    def _scaled(self, workload: Workload) -> Workload:
+        if workload.schema.row_count == self.schema.row_count:
+            return workload
+        return workload.with_schema(self.schema)
+
+    def predicted_cost(self, workload: Workload, cost_model) -> float:
+        """The model's workload cost at the executor's measured scale."""
+        return cost_model.workload_cost(self._scaled(workload), self.partitioning)
+
+    def predicted_query_costs(self, workload: Workload, cost_model) -> Dict[str, float]:
+        """Per-query (unweighted) predictions at the measured scale."""
+        return cost_model.per_query_costs(self._scaled(workload), self.partitioning)

@@ -1,0 +1,246 @@
+"""SQL compilation of layouts and workloads for the embedded engine backend.
+
+A :class:`~repro.core.partitioning.Partitioning` maps to one physical SQLite
+table per column group.  Every group table carries the same synthetic row
+identifier column (:data:`RID_COLUMN`, declared ``INTEGER PRIMARY KEY`` so it
+aliases the rowid in ordinary tables and becomes the clustering key under
+``WITHOUT ROWID``), which is what lets a query spanning several groups
+reconstruct rows with rowid equi-joins — the physical design the paper's
+column-grouping DBMS-X uses.
+
+A :class:`~repro.workload.query.ResolvedQuery` compiles to a single SELECT
+over exactly the group tables its attribute footprint references:
+
+* one referenced group — a projection-only scan of that table;
+* several referenced groups — the same projections over a rowid equi-join.
+
+The SELECT list aggregates every referenced attribute server-side (``sum`` for
+numerics, ``sum(length(...))`` for byte strings, plus ``count(*)``) so the
+engine must actually read the projected values but no per-row Python overhead
+pollutes the timing.
+
+The mapping is reversible: :func:`layout_from_connection` reads the group
+tables back from ``sqlite_master`` + ``PRAGMA table_info`` and reconstructs
+the :class:`Partitioning` that produced them — the round-trip the property
+tests pin down.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.partitioning import Partitioning
+from repro.workload.query import ResolvedQuery
+from repro.workload.schema import Column, TableSchema
+
+#: The shared row-identifier column present in every group table.  The dunder
+#: name keeps it out of the way of real attribute names (and is rejected as an
+#: attribute name to make the namespace split airtight).
+RID_COLUMN = "__rid__"
+
+
+class SqlCompilationError(ValueError):
+    """Raised when a schema or layout cannot be mapped onto SQLite tables."""
+
+
+def quote_identifier(name: str) -> str:
+    """``name`` as a double-quoted SQLite identifier (quotes doubled)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def sqlite_type(column: Column) -> str:
+    """The SQLite column type storing one logical column's generated data.
+
+    Character columns hold fixed-width byte strings (``BLOB`` keeps them
+    byte-exact); decimal/double/float columns hold 8-byte reals; everything
+    else holds integers.
+    """
+    if column.sql_type.startswith(("char", "varchar", "text", "string")):
+        return "BLOB"
+    if column.sql_type in ("decimal", "double", "float", "real"):
+        return "REAL"
+    return "INTEGER"
+
+
+def group_table_name(schema: TableSchema, group_index: int) -> str:
+    """The physical table name of group ``group_index`` of ``schema``."""
+    return f"{schema.name}__g{group_index}"
+
+
+def _group_table_pattern(schema: TableSchema) -> "re.Pattern[str]":
+    return re.compile(rf"^{re.escape(schema.name)}__g(\d+)$")
+
+
+def _check_schema(schema: TableSchema) -> None:
+    if RID_COLUMN in schema.attribute_names:
+        raise SqlCompilationError(
+            f"schema {schema.name!r} uses the reserved column name {RID_COLUMN!r}"
+        )
+
+
+def create_table_sql(
+    partitioning: Partitioning, group_index: int, without_rowid: bool = False
+) -> str:
+    """DDL for one column group's physical table.
+
+    The rid column is ``INTEGER PRIMARY KEY``: in an ordinary table it aliases
+    the rowid (zero extra bytes per record, records are varying-length); with
+    ``without_rowid`` the table is declared ``WITHOUT ROWID`` and the rid
+    becomes the clustering key of the index-organised table — the closest
+    SQLite analogue of DBMS-X's fixed-width record format (see
+    ``docs/ENGINE_X.md``).
+    """
+    schema = partitioning.schema
+    _check_schema(schema)
+    partition = partitioning.partitions[group_index]
+    columns = [f"{quote_identifier(RID_COLUMN)} INTEGER PRIMARY KEY"]
+    for name in partition.attribute_names(schema):
+        column = schema.columns[schema.index_of(name)]
+        columns.append(f"{quote_identifier(name)} {sqlite_type(column)}")
+    suffix = " WITHOUT ROWID" if without_rowid else ""
+    table = quote_identifier(group_table_name(schema, group_index))
+    return f"CREATE TABLE {table} ({', '.join(columns)}){suffix}"
+
+
+def create_layout_sql(
+    partitioning: Partitioning, without_rowid: bool = False
+) -> List[str]:
+    """DDL statements materialising a whole layout, one per column group.
+
+    Together the statements cover every attribute of the schema exactly once
+    (a direct consequence of ``Partitioning``'s completeness/disjointness
+    invariant — the property tests verify it end to end on the catalog).
+    """
+    return [
+        create_table_sql(partitioning, index, without_rowid=without_rowid)
+        for index in range(partitioning.partition_count)
+    ]
+
+
+def insert_sql(partitioning: Partitioning, group_index: int) -> str:
+    """Parameterised INSERT loading one group table (rid first)."""
+    schema = partitioning.schema
+    partition = partitioning.partitions[group_index]
+    names = [RID_COLUMN] + list(partition.attribute_names(schema))
+    table = quote_identifier(group_table_name(schema, group_index))
+    column_list = ", ".join(quote_identifier(name) for name in names)
+    placeholders = ", ".join("?" for _ in names)
+    return f"INSERT INTO {table} ({column_list}) VALUES ({placeholders})"
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """One query's SQL over the group tables plus its physical footprint."""
+
+    query: str
+    sql: str
+    #: Indices (into ``partitioning.partitions``) of the groups the SQL scans.
+    group_indices: Tuple[int, ...]
+    #: Physical table names the SQL references, aligned with group_indices.
+    tables: Tuple[str, ...]
+
+
+def compile_query(partitioning: Partitioning, query: ResolvedQuery) -> CompiledQuery:
+    """Compile one query into a projection-only scan (plus rowid joins).
+
+    The FROM clause names exactly the group tables holding the query's
+    referenced attributes; cross-group rows are reconstructed by equi-joining
+    on :data:`RID_COLUMN`.  The SELECT list forces the engine to read every
+    referenced value: ``sum`` of numeric columns, ``sum(length(...))`` of byte
+    string columns, and ``count(*)`` (which doubles as the scanned-row count
+    the executor cross-checks).
+    """
+    schema = partitioning.schema
+    _check_schema(schema)
+    group_indices = tuple(
+        index
+        for index, partition in enumerate(partitioning.partitions)
+        if partition.is_referenced_by(query)
+    )
+    if not group_indices:
+        raise SqlCompilationError(
+            f"query {query.name!r} references no attributes; nothing to compile"
+        )
+    tables = tuple(group_table_name(schema, index) for index in group_indices)
+    aliases = {index: f"g{index}" for index in group_indices}
+
+    selects = ["count(*)"]
+    for attribute in sorted(query.attribute_indices):
+        column = schema.columns[attribute]
+        group_index = next(
+            index
+            for index in group_indices
+            if attribute in partitioning.partitions[index].attributes
+        )
+        reference = f"{aliases[group_index]}.{quote_identifier(column.name)}"
+        if sqlite_type(column) == "BLOB":
+            selects.append(f"sum(length({reference}))")
+        else:
+            selects.append(f"sum({reference})")
+
+    first = group_indices[0]
+    clauses = [f"{quote_identifier(tables[0])} AS {aliases[first]}"]
+    for position, index in enumerate(group_indices[1:], start=1):
+        clauses.append(
+            f"JOIN {quote_identifier(tables[position])} AS {aliases[index]} "
+            f"ON {aliases[index]}.{quote_identifier(RID_COLUMN)} = "
+            f"{aliases[first]}.{quote_identifier(RID_COLUMN)}"
+        )
+    sql = f"SELECT {', '.join(selects)} FROM {' '.join(clauses)}"
+    return CompiledQuery(
+        query=query.name, sql=sql, group_indices=group_indices, tables=tables
+    )
+
+
+def compile_workload(
+    partitioning: Partitioning, queries: Sequence[ResolvedQuery]
+) -> List[CompiledQuery]:
+    """Compile every query of a workload against one layout."""
+    return [compile_query(partitioning, query) for query in queries]
+
+
+def layout_from_connection(
+    connection, schema: TableSchema
+) -> Partitioning:
+    """Reconstruct the materialised layout from the database catalog.
+
+    Reads the group tables of ``schema`` back via ``sqlite_master`` and
+    ``PRAGMA table_info`` and rebuilds the :class:`Partitioning` they
+    implement.  This is the inverse of :func:`create_layout_sql` —
+    ``layout_from_connection(conn, s)`` after materialising ``p`` equals
+    ``p`` — and it is also how the executor derives its scanned-row/byte
+    accounting from the *database's* view of the layout rather than trusting
+    its own input.
+    """
+    pattern = _group_table_pattern(schema)
+    names = [
+        row[0]
+        for row in connection.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table'"
+        )
+    ]
+    groups: List[Tuple[int, List[str]]] = []
+    for name in names:
+        match = pattern.match(name)
+        if match is None:
+            continue
+        columns = [
+            row[1]
+            for row in connection.execute(f"PRAGMA table_info({quote_identifier(name)})")
+            if row[1] != RID_COLUMN
+        ]
+        groups.append((int(match.group(1)), columns))
+    if not groups:
+        raise SqlCompilationError(
+            f"no group tables of schema {schema.name!r} in this database"
+        )
+    groups.sort()
+    return Partitioning(
+        schema,
+        [
+            frozenset(schema.index_of(column) for column in columns)
+            for _, columns in groups
+        ],
+    )

@@ -1,0 +1,158 @@
+"""Layout-set validation against the real engine.
+
+The sqlite counterpart of :func:`repro.exec.validation.validate_layouts`:
+given one workload and a set of named layouts, execute every layout on
+:class:`~repro.engine_x.executor.SQLiteExecutor` and compare the model's
+predicted seconds against the engine's warm wall clock.
+
+Unlike the measured backend, the engine's absolute seconds live on *this
+machine's* hardware while the model predicts the paper's 2005 testbed, so
+per-layout relative errors are not meaningful across the gap — the agreement
+that matters is the *ranking* (does the model order layouts the way the real
+engine does), which is what :attr:`EngineValidationReport.rank_correlation`
+captures and the differential tests bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional
+
+from repro.core.partitioning import Partitioning
+from repro.cost.base import CostModel
+from repro.cost.hdd import HDDCostModel
+from repro.engine_x.executor import DEFAULT_PAGE_SIZE, DEFAULT_REPEATS, SQLiteExecutor
+from repro.exec.executor import unwrap_cost_model
+from repro.metrics.agreement import spearman_rank_correlation
+from repro.workload.workload import Workload
+
+
+@dataclass(frozen=True)
+class EngineLayoutValidation:
+    """Predicted-vs-engine numbers of one layout."""
+
+    label: str
+    partitions: int
+    predicted_seconds: float
+    engine_seconds: float
+    rows_scanned: int
+    bytes_scanned: int
+
+
+@dataclass
+class EngineValidationReport:
+    """Agreement of a layout set on the real engine: the ranking view."""
+
+    workload_name: str
+    cost_model_description: str
+    rows: int
+    data_seed: int
+    page_size: int
+    validations: List[EngineLayoutValidation]
+
+    @property
+    def rank_correlation(self) -> float:
+        """Spearman's rho between predicted and engine layout orderings."""
+        return spearman_rank_correlation(
+            [validation.predicted_seconds for validation in self.validations],
+            [validation.engine_seconds for validation in self.validations],
+        )
+
+    def by_label(self, label: str) -> EngineLayoutValidation:
+        """The validation record of one named layout."""
+        for validation in self.validations:
+            if validation.label == label:
+                return validation
+        raise KeyError(f"no layout labelled {label!r} in this validation")
+
+    def to_rows(self) -> List[dict]:
+        """Tabular form, fastest engine layout first."""
+        return [
+            {
+                "layout": validation.label,
+                "parts": validation.partitions,
+                "predicted (s)": validation.predicted_seconds,
+                "sqlite (ms)": 1e3 * validation.engine_seconds,
+                "MB scanned": validation.bytes_scanned / 1e6,
+            }
+            for validation in sorted(
+                self.validations, key=lambda v: v.engine_seconds
+            )
+        ]
+
+    def describe(self) -> str:
+        """The agreement table plus the ranking summary line."""
+        # Imported here to avoid a circular import at package load time.
+        from repro.experiments.report import format_table
+
+        table = format_table(
+            self.to_rows(),
+            title=(
+                f"Estimated vs SQLite — {self.workload_name} "
+                f"({self.cost_model_description}, {self.rows:,} rows, "
+                f"page {self.page_size})"
+            ),
+        )
+        return f"{table}\nrank correlation: {self.rank_correlation:.4f}"
+
+
+def validate_layouts_sqlite(
+    workload: Workload,
+    layouts: Mapping[str, Partitioning],
+    cost_model: Optional[CostModel] = None,
+    rows: Optional[int] = None,
+    data_seed: int = 0,
+    page_size: Optional[int] = None,
+    repeats: int = DEFAULT_REPEATS,
+    database_dir: Optional[str] = None,
+) -> EngineValidationReport:
+    """Execute every layout on SQLite and compare against the model's estimate.
+
+    All layouts share one generated dataset (the same convention as the
+    measured backend's ``validate_layouts``), so ranking differences come
+    from the layouts, never the data.  Any cost model works — the comparison
+    is a ranking, not an absolute-seconds match — and defaults to the paper's
+    testbed HDD model.
+    """
+    if not layouts:
+        raise ValueError("validate_layouts_sqlite needs at least one layout")
+    model = unwrap_cost_model(cost_model if cost_model is not None else HDDCostModel())
+    resolved_page = DEFAULT_PAGE_SIZE if page_size is None else int(page_size)
+    validations: List[EngineLayoutValidation] = []
+    shared_data = None
+    executed_rows = 0
+    for label, layout in layouts.items():
+        executor = SQLiteExecutor(
+            layout,
+            rows=rows,
+            data_seed=data_seed,
+            page_size=resolved_page,
+            repeats=repeats,
+            database_dir=database_dir,
+            data=shared_data,
+        )
+        try:
+            if shared_data is None:
+                shared_data = executor.data
+            executed_rows = executor.rows
+            run = executor.execute_workload(workload)
+            validations.append(
+                EngineLayoutValidation(
+                    label=label,
+                    partitions=layout.partition_count,
+                    predicted_seconds=executor.predicted_cost(workload, model),
+                    engine_seconds=run.elapsed_seconds,
+                    rows_scanned=run.rows_scanned,
+                    bytes_scanned=run.bytes_scanned,
+                )
+            )
+        finally:
+            executor.close()
+    return EngineValidationReport(
+        workload_name=workload.name,
+        cost_model_description=model.describe(),
+        rows=executed_rows,
+        data_seed=int(data_seed),
+        page_size=resolved_page,
+        validations=validations,
+    )

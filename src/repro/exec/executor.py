@@ -132,6 +132,10 @@ class MeasuredRun:
     seeks: int
     bytes_read: int
     rows_scanned: int
+    #: Logical bytes the walk covered (rows x row size of each referenced
+    #: partition) — unlike ``bytes_read`` it ignores block padding, so it is
+    #: directly comparable across backends (see repro.engine_x.differential).
+    bytes_scanned: int
     io_seconds: float
     cpu_seconds: float
     checksum: int
@@ -183,6 +187,11 @@ class MeasuredWorkloadRun:
     def seeks(self) -> int:
         """Seeks performed executing each query once (trace total, unweighted)."""
         return sum(run.seeks for run in self.runs)
+
+    @property
+    def bytes_scanned(self) -> int:
+        """Logical bytes covered executing each query once (unweighted)."""
+        return sum(run.bytes_scanned for run in self.runs)
 
     @property
     def checksum(self) -> int:
@@ -306,6 +315,7 @@ class VectorizedScanExecutor:
         blocks_read = 0
         seeks = 0
         rows_scanned = 0
+        bytes_scanned = 0
         checksum = 0
         cpu_seconds = 0.0
         total_row_size = sum(file.row_size for file, _ in referenced)
@@ -331,6 +341,7 @@ class VectorizedScanExecutor:
                             checksum + _array_checksum(array[row_start:row_stop])
                         ) & _CHECKSUM_MASK
                     rows_scanned += row_stop - row_start
+                    bytes_scanned += (row_stop - row_start) * file.row_size
                     seeks += 1
                     blocks_read += chunk_blocks
                     position += chunk_blocks
@@ -351,6 +362,7 @@ class VectorizedScanExecutor:
             seeks=seeks,
             bytes_read=blocks_read * characteristics.block_size,
             rows_scanned=rows_scanned,
+            bytes_scanned=bytes_scanned,
             io_seconds=io_seconds,
             cpu_seconds=cpu_seconds,
             checksum=checksum,

@@ -26,6 +26,9 @@ Table 1 / 2     :mod:`repro.core.classification`
 Table 5         :func:`repro.experiments.quality.improvement_over_column_by_benchmark`
 Table 6         :func:`repro.experiments.quality.improvement_over_column_by_cost_model`
 Table 7         :func:`repro.experiments.dbms_x_experiment.dbms_x_runtimes`
+                (simulated) and :func:`repro.experiments.engine_x.engine_x_runtimes`
+                (measured on SQLite); both emit the shared row schema of
+                :mod:`repro.experiments.table7`
 ==============  ==========================================================
 
 Beyond the paper's figures, :func:`repro.experiments.adaptive.adaptive_policy_comparison`
@@ -51,6 +54,8 @@ from repro.experiments import (
     payoff,
     layouts,
     dbms_x_experiment,
+    engine_x,
+    table7,
     adaptive,
     validation,
 )
@@ -69,6 +74,8 @@ __all__ = [
     "payoff",
     "layouts",
     "dbms_x_experiment",
+    "engine_x",
+    "table7",
     "adaptive",
     "validation",
     "format_table",

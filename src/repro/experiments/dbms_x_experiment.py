@@ -9,22 +9,23 @@ This driver reproduces the experiment on the simulated DBMS-X of
 :mod:`repro.storage.dbms_x`: absolute seconds differ from the paper's
 hardware, but the shape — Row ≫ Column, Column ≤ HillClimb, and a narrower
 gap under dictionary compression — is preserved and asserted by the
-integration tests.
+integration tests.  Rows use the shared Table-7 schema of
+:mod:`repro.experiments.table7` (``engine``/``encoding`` + one column per
+layout) so they render in the same headline table as the real-engine rows
+from :mod:`repro.experiments.engine_x`.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.algorithm import get_algorithm
-from repro.core.partitioning import column_partitioning, row_partitioning
-from repro.cost.hdd import HDDCostModel
+from repro.experiments.table7 import TABLE7_LAYOUTS, table7_layouts, table7_row
 from repro.storage.compression import DictionaryCompression, VaryingLengthCompression
 from repro.storage.dbms_x import DbmsX, DbmsXConfig
 from repro.workload import tpch
 
-#: The layouts compared in Table 7.
-TABLE7_LAYOUTS = ("row", "column", "hillclimb")
+#: Engine label the simulated rows carry in the shared Table-7 schema.
+ENGINE_LABEL = "dbms-x (simulated)"
 
 
 def dbms_x_runtimes(
@@ -32,26 +33,12 @@ def dbms_x_runtimes(
     layouts: Sequence[str] = TABLE7_LAYOUTS,
     tables: Optional[Sequence[str]] = None,
 ) -> List[Dict[str, object]]:
-    """Table 7 rows: one row per compression scheme with a column per layout."""
+    """Table 7 rows: one row per record encoding with a column per layout."""
     workloads = tpch.tpch_workloads(scale_factor=scale_factor)
     if tables is not None:
         workloads = {name: workloads[name] for name in tables}
 
-    # Compute the layouts once (HillClimb optimises under the HDD cost model,
-    # exactly as the paper loads the HillClimb-computed layout).
-    cost_model = HDDCostModel()
-    layout_map: Dict[str, Dict[str, object]] = {}
-    for name in layouts:
-        layout_map[name] = {}
-        for table, workload in workloads.items():
-            if name == "row":
-                layout_map[name][table] = row_partitioning(workload.schema)
-            elif name == "column":
-                layout_map[name][table] = column_partitioning(workload.schema)
-            else:
-                layout_map[name][table] = (
-                    get_algorithm(name).run(workload, cost_model).partitioning
-                )
+    layout_map = table7_layouts(workloads, layouts)
 
     schemes = {
         "Default (LZO or Delta)": VaryingLengthCompression(),
@@ -60,8 +47,9 @@ def dbms_x_runtimes(
     rows = []
     for scheme_name, scheme in schemes.items():
         dbms = DbmsX(DbmsXConfig(compression=scheme))
-        row: Dict[str, object] = {"compression": scheme_name}
-        for name in layouts:
-            row[name] = dbms.run_benchmark(workloads, layout_map[name])
-        rows.append(row)
+        runtimes = {
+            name: dbms.run_benchmark(workloads, layout_map[name])
+            for name in layouts
+        }
+        rows.append(table7_row(ENGINE_LABEL, scheme_name, runtimes, layouts))
     return rows

@@ -1,0 +1,151 @@
+"""Table 7 on a real engine: TPC-H layouts executed on embedded SQLite.
+
+The simulated driver (:mod:`repro.experiments.dbms_x_experiment`) reproduces
+Table 7 on a DBMS-X model we wrote ourselves.  This driver replaces guesswork
+with measurement: it materialises the same three layouts (row, column,
+HillClimb) as real SQLite tables via
+:class:`repro.engine_x.executor.SQLiteExecutor` and times the TPC-H
+workloads — query 9 excluded, exactly as the paper's DBMS-X runs exclude it —
+under two record encodings:
+
+* **rowid tables** — SQLite's default varint-packed records, the analogue of
+  DBMS-X's varying-length default encoding;
+* **``WITHOUT ROWID`` tables** — records clustered on the fixed-width
+  ``__rid__`` key, the closest SQLite analogue of a fixed-width/dictionary
+  encoding.
+
+Rows use the shared Table-7 schema of :mod:`repro.experiments.table7`, so
+simulated and real rows render in one headline table
+(:func:`table7_report`).  Absolute seconds are host hardware, not the paper's
+2005 testbed, and one shape diverges by design: the paper's Row >> Column is
+a disk-bandwidth effect, while these warm in-memory runs make byte savings
+cheap and rowid joins expensive, so Row stays fastest (see
+``docs/ENGINE_X.md``).  The paper's *grouping* claim does transfer — at every
+scale tested HillClimb beats Column because it avoids unnecessary
+tuple-reconstruction joins, and that is the shape the benchmark asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine_x.executor import DEFAULT_PAGE_SIZE, SQLiteExecutor
+from repro.experiments.table7 import (
+    TABLE7_LAYOUTS,
+    format_table7,
+    table7_layouts,
+    table7_row,
+)
+from repro.storage.data import generate_table_data
+from repro.storage.dbms_x import EXCLUDED_QUERIES
+from repro.workload import tpch
+from repro.workload.workload import Workload
+
+#: Engine label the real-engine rows carry in the shared Table-7 schema.
+ENGINE_LABEL = "sqlite"
+
+#: The two record encodings, mapped to the executor's ``without_rowid`` flag.
+ENCODINGS: Tuple[Tuple[str, bool], ...] = (
+    ("Varying length (rowid)", False),
+    ("Fixed width (WITHOUT ROWID)", True),
+)
+
+#: Row count the tables are materialised at.  Large enough that scan cost
+#: dominates SQLite's fixed per-query overhead (the regime where the
+#: HillClimb-beats-Column shape is stable), small enough to materialise in
+#: seconds.
+DEFAULT_ENGINE_ROWS = 20_000
+
+#: Tables the driver runs by default — the same trio the simulated Table-7
+#: integration test exercises.
+DEFAULT_TABLES = ("partsupp", "customer", "supplier")
+
+
+def engine_x_workloads(
+    scale_factor: float = 10.0,
+    tables: Optional[Sequence[str]] = DEFAULT_TABLES,
+) -> Dict[str, Workload]:
+    """The TPC-H workloads the engine runs: per table, query 9 excluded."""
+    workloads = tpch.tpch_workloads(scale_factor=scale_factor)
+    if tables is not None:
+        workloads = {name: workloads[name] for name in tables}
+    filtered: Dict[str, Workload] = {}
+    for name, workload in workloads.items():
+        queries = [
+            query for query in workload.queries
+            if query.name not in EXCLUDED_QUERIES
+        ]
+        if queries:
+            filtered[name] = Workload(workload.schema, queries, name=workload.name)
+    return filtered
+
+
+def engine_x_runtimes(
+    scale_factor: float = 10.0,
+    layouts: Sequence[str] = TABLE7_LAYOUTS,
+    tables: Optional[Sequence[str]] = DEFAULT_TABLES,
+    rows: int = DEFAULT_ENGINE_ROWS,
+    data_seed: int = 0,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    repeats: int = 3,
+    database_dir: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """Table 7 rows measured on SQLite: one row per encoding, column per layout.
+
+    Every (encoding, layout, table) combination materialises its own database
+    but all share one deterministic dataset per table, so the timed runs
+    differ only in physical design.
+    """
+    workloads = engine_x_workloads(scale_factor=scale_factor, tables=tables)
+    layout_map = table7_layouts(workloads, layouts)
+
+    data: Dict[str, Dict[str, np.ndarray]] = {}
+    capped: Dict[str, int] = {}
+    for table, workload in workloads.items():
+        capped[table] = max(1, min(int(rows), workload.schema.row_count))
+        schema = workload.schema.with_row_count(capped[table])
+        data[table] = generate_table_data(schema, random_state=data_seed)
+
+    result: List[Dict[str, object]] = []
+    for encoding, without_rowid in ENCODINGS:
+        runtimes = {name: 0.0 for name in layouts}
+        for table, workload in workloads.items():
+            for name in layouts:
+                executor = SQLiteExecutor(
+                    layout_map[name][table],
+                    rows=capped[table],
+                    data_seed=data_seed,
+                    page_size=page_size,
+                    without_rowid=without_rowid,
+                    repeats=repeats,
+                    database_dir=database_dir,
+                    data=data[table],
+                )
+                try:
+                    runtimes[name] += executor.execute_workload(workload).elapsed_seconds
+                finally:
+                    executor.close()
+        result.append(table7_row(ENGINE_LABEL, encoding, runtimes, layouts))
+    return result
+
+
+def table7_report(
+    scale_factor: float = 10.0,
+    tables: Optional[Sequence[str]] = DEFAULT_TABLES,
+    rows: int = DEFAULT_ENGINE_ROWS,
+    **engine_options,
+) -> str:
+    """The combined Table-7 report: simulated DBMS-X rows above SQLite rows."""
+    from repro.experiments.dbms_x_experiment import dbms_x_runtimes
+
+    combined = dbms_x_runtimes(scale_factor=scale_factor, tables=tables)
+    combined += engine_x_runtimes(
+        scale_factor=scale_factor, tables=tables, rows=rows, **engine_options
+    )
+    return format_table7(combined)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(table7_report())

@@ -1,0 +1,90 @@
+"""The shared Table-7 report schema: one row per (engine, encoding).
+
+The paper's Table 7 measures TPC-H workload runtimes inside a column-grouping
+DBMS the authors don't control, across three layouts (row, column, HillClimb)
+and two record encodings.  This repro produces Table-7 rows from two engines —
+the simulated DBMS-X (:mod:`repro.experiments.dbms_x_experiment`) and real
+embedded SQLite (:mod:`repro.experiments.engine_x`) — and both emit the *same*
+row schema so they render in one headline table::
+
+    {"engine": <engine label>, "encoding": <record encoding label>,
+     "row": <seconds>, "column": <seconds>, "hillclimb": <seconds>}
+
+This module owns the schema, the layout computation the drivers share (the
+HillClimb layout is optimised under the paper's HDD model, exactly as the
+paper loads the HillClimb-computed layout), and the combined renderer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.core.algorithm import get_algorithm
+from repro.core.partitioning import (
+    Partitioning,
+    column_partitioning,
+    row_partitioning,
+)
+from repro.cost.base import CostModel
+from repro.cost.hdd import HDDCostModel
+from repro.workload.workload import Workload
+
+#: The layouts compared in Table 7 (also the per-layout column names).
+TABLE7_LAYOUTS = ("row", "column", "hillclimb")
+
+#: Fixed column order of a Table-7 row.
+TABLE7_COLUMNS = ("engine", "encoding") + TABLE7_LAYOUTS
+
+
+def table7_layouts(
+    workloads: Mapping[str, Workload],
+    layouts: Sequence[str] = TABLE7_LAYOUTS,
+    cost_model: Optional[CostModel] = None,
+) -> Dict[str, Dict[str, Partitioning]]:
+    """The physical layouts both engines load: layout name -> table -> layout.
+
+    Row and Column are the baselines; any other name is resolved as an
+    algorithm and optimised per table under ``cost_model`` (default: the
+    paper's testbed HDD model).
+    """
+    model = cost_model if cost_model is not None else HDDCostModel()
+    layout_map: Dict[str, Dict[str, Partitioning]] = {}
+    for name in layouts:
+        layout_map[name] = {}
+        for table, workload in workloads.items():
+            if name == "row":
+                layout_map[name][table] = row_partitioning(workload.schema)
+            elif name == "column":
+                layout_map[name][table] = column_partitioning(workload.schema)
+            else:
+                layout_map[name][table] = (
+                    get_algorithm(name).run(workload, model).partitioning
+                )
+    return layout_map
+
+
+def table7_row(
+    engine: str,
+    encoding: str,
+    runtimes: Mapping[str, float],
+    layouts: Sequence[str] = TABLE7_LAYOUTS,
+) -> Dict[str, object]:
+    """One canonical Table-7 row (validates the layout keys)."""
+    missing = [name for name in layouts if name not in runtimes]
+    if missing:
+        raise ValueError(f"Table-7 runtimes missing layouts {missing}")
+    row: Dict[str, object] = {"engine": engine, "encoding": encoding}
+    for name in layouts:
+        row[name] = float(runtimes[name])
+    return row
+
+
+def format_table7(rows: Iterable[Mapping[str, object]], title: str = "") -> str:
+    """Render Table-7 rows (from any mix of engines) as one aligned table."""
+    from repro.experiments.report import format_table
+
+    return format_table(
+        list(rows),
+        columns=TABLE7_COLUMNS,
+        title=title or "Table 7 — workload runtimes by engine (s)",
+    )

@@ -23,6 +23,11 @@ Measured-backend runs add two more views (Figure 3 / Table 7 in spirit):
   the Spearman rank correlation between predicted and measured runtimes
   across that algorithm's cells, plus a pooled ``(all)`` row.
 
+Sqlite-backend runs add the real-engine counterparts (Table 7 in spirit,
+``docs/ENGINE_X.md``): per-cell prediction vs engine wall clock with scan
+volume, and per-algorithm rank correlation — rankings only, because the model
+predicts the paper's testbed while the engine runs on this host.
+
 All aggregation is computed from cached payloads (plus cheap local re-costing
 for fragility), so a fully cached grid run reproduces its tables without
 running a single algorithm.
@@ -221,6 +226,11 @@ def _measured_cells(results: Sequence["CellResult"]) -> List["CellResult"]:
     return [result for result in results if result.measured is not None]
 
 
+def _sqlite_cells(results: Sequence["CellResult"]) -> List["CellResult"]:
+    """The cells carrying a sqlite-engine section."""
+    return [result for result in results if result.sqlite is not None]
+
+
 def agreement_rows(results: Sequence["CellResult"]) -> List[Dict[str, object]]:
     """One row per measured cell: prediction, measurement, relative error."""
     rows = []
@@ -277,6 +287,69 @@ def agreement_summary_rows(
     return rows
 
 
+def _sqlite_seconds(result: "CellResult") -> float:
+    """A sqlite cell's weighted engine wall clock (from the timing section)."""
+    return float(result.payload.get("timing", {}).get("sqlite_seconds", 0.0))
+
+
+def sqlite_agreement_rows(results: Sequence["CellResult"]) -> List[Dict[str, object]]:
+    """One row per sqlite cell: prediction, engine wall clock, scan volume.
+
+    No relative-error column: the model predicts the paper's testbed while
+    the engine runs on this host, so only the *ranking* of the two columns is
+    meaningful (see :func:`sqlite_agreement_summary_rows` and
+    ``docs/ENGINE_X.md``).
+    """
+    rows = []
+    for result in _sqlite_cells(results):
+        section = result.sqlite
+        rows.append(
+            {
+                "workload": result.cell.workload,
+                "cost model": result.cell.cost_model,
+                "algorithm": result.cell.algorithm,
+                "rows": section["rows"],
+                "page": section["page_size"],
+                "predicted (s)": section["predicted_seconds"],
+                "sqlite (ms)": 1e3 * _sqlite_seconds(result),
+                "MB scanned": section["bytes_scanned"] / 1e6,
+                "tables": section["group_tables"],
+            }
+        )
+    return rows
+
+
+def sqlite_agreement_summary_rows(
+    results: Sequence["CellResult"],
+) -> List[Dict[str, object]]:
+    """Per-algorithm rank correlation of predictions against the engine.
+
+    Each algorithm's correlation ranks its own cells; the ``(all)`` row pools
+    every sqlite cell.  The pooled ranking is the repo's strongest claim: the
+    analytical model orders layouts/workloads the way a real engine runs
+    them.
+    """
+    cells = _sqlite_cells(results)
+    by_algorithm: Dict[str, List["CellResult"]] = {}
+    for result in cells:
+        by_algorithm.setdefault(result.cell.algorithm, []).append(result)
+
+    def _summary(label: str, group: Sequence["CellResult"]) -> Dict[str, object]:
+        return {
+            "algorithm": label,
+            "cells": len(group),
+            "rank corr": spearman_rank_correlation(
+                [c.sqlite["predicted_seconds"] for c in group],
+                [_sqlite_seconds(c) for c in group],
+            ),
+        }
+
+    rows = [_summary(name, group) for name, group in sorted(by_algorithm.items())]
+    if len(by_algorithm) > 1:
+        rows.append(_summary("(all)", cells))
+    return rows
+
+
 def headline_tables(results: Sequence["CellResult"]) -> str:
     """The headline tables rendered as aligned plain text.
 
@@ -306,6 +379,19 @@ def headline_tables(results: Sequence["CellResult"]) -> str:
         sections.append(
             format_table(
                 agreement_summary_rows(results), title="Agreement by algorithm"
+            )
+        )
+    sqlite_agreement = sqlite_agreement_rows(results)
+    if sqlite_agreement:
+        sections.append(
+            format_table(
+                sqlite_agreement, title="Estimated vs SQLite engine agreement"
+            )
+        )
+        sections.append(
+            format_table(
+                sqlite_agreement_summary_rows(results),
+                title="SQLite agreement by algorithm",
             )
         )
     failures = failure_rows(results)

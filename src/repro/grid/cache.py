@@ -140,6 +140,31 @@ def execution_fingerprint(
     }
 
 
+def sqlite_execution_fingerprint(
+    measurement: Mapping[str, object], workload: Workload
+) -> Dict[str, object]:
+    """Everything that can change a *sqlite* cell's result beyond the
+    estimated inputs: the engine marker, the measured scale, the synthetic
+    data seed and the engine's page size.
+
+    Rows are fingerprinted at the effective (schema-capped) count like
+    :func:`execution_fingerprint`.  No disk appears here — the engine's wall
+    clock depends on the host, not on modeled disk characteristics, and host
+    identity deliberately stays out of the key: a cached sqlite timing is a
+    *sample*, and rerunning on different hardware resumes rather than
+    remeasures (pass ``refresh`` to remeasure).
+    """
+    from repro.grid.spec import resolve_sqlite_measurement
+
+    settings = resolve_sqlite_measurement(measurement)
+    return {
+        "engine": "sqlite",
+        "rows": max(1, min(settings["rows"], workload.schema.row_count)),
+        "data_seed": settings["data_seed"],
+        "page_size": settings["page_size"],
+    }
+
+
 def cell_inputs(
     algorithm: str,
     algorithm_options: Mapping[str, object],
@@ -153,10 +178,11 @@ def cell_inputs(
     """The complete, hashable input description of one grid cell.
 
     Estimated cells hash exactly the same inputs as before the measured
-    backend existed, so pre-existing cache entries stay valid.  Measured
-    cells add the backend marker and the execution fingerprint — a measured
-    result computed from one data seed, measured row count or disk must never
-    be served for another.
+    backend existed, and measured cells exactly the same as before the sqlite
+    backend existed, so pre-existing cache entries stay valid.  Executing
+    cells add the backend marker and their execution fingerprint — a result
+    computed from one data seed, row count, disk, engine or page size must
+    never be served for another.
     """
     inputs = {
         "format": FORMAT_VERSION,
@@ -166,7 +192,10 @@ def cell_inputs(
         "workload": workload_fingerprint(workload),
         "cost_model": cost_model_fingerprint(cost_model_id, cost_model),
     }
-    if backend != "estimated":
+    if backend == "sqlite":
+        inputs["backend"] = backend
+        inputs["execution"] = sqlite_execution_fingerprint(measurement or {}, workload)
+    elif backend != "estimated":
         inputs["backend"] = backend
         inputs["execution"] = execution_fingerprint(
             measurement or {}, cost_model, workload

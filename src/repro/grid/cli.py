@@ -9,7 +9,10 @@ from the cache; an interrupted run resumes where it stopped.
 ``--backend measured`` additionally executes every cell's layout on the
 vectorized scan executor (``--measured-rows`` rows of seed ``--data-seed``
 synthetic data) and appends the estimated-vs-measured agreement tables; see
-``docs/EXECUTION.md``.
+``docs/EXECUTION.md``.  ``--backend sqlite`` instead materialises every
+cell's layout as real SQLite tables (optionally at ``--sqlite-page-size``)
+and appends the estimated-vs-engine agreement tables; see
+``docs/ENGINE_X.md``.
 
 Failure semantics (``docs/ROBUSTNESS.md``): by default the run *keeps going* —
 a cell that exhausts its ``--retries`` budget (or exceeds ``--cell-timeout``,
@@ -70,9 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=BACKENDS,
         default="estimated",
         help=(
-            "cell backend: 'estimated' (analytical costs only) or 'measured' "
+            "cell backend: 'estimated' (analytical costs only), 'measured' "
             "(also execute each layout on the vectorized scan executor and "
-            "report estimated-vs-measured agreement)"
+            "report estimated-vs-measured agreement) or 'sqlite' (also run "
+            "each layout on embedded SQLite and report estimated-vs-engine "
+            "agreement)"
         ),
     )
     parser.add_argument(
@@ -80,7 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="measured backend: row count tables are materialised at "
+        help="measured/sqlite backends: row count tables are materialised at "
         "(default: the executor's default)",
     )
     parser.add_argument(
@@ -88,7 +93,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="SEED",
-        help="measured backend: synthetic data seed (default: 0)",
+        help="measured/sqlite backends: synthetic data seed (default: 0)",
+    )
+    parser.add_argument(
+        "--sqlite-page-size",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="sqlite backend: engine page size, a power of two in "
+        "[512, 65536] (default: 4096)",
     )
     parser.add_argument(
         "--workers",
@@ -180,6 +193,8 @@ def _measurement_from_args(args: argparse.Namespace) -> Optional[dict]:
         measurement["rows"] = args.measured_rows
     if args.data_seed is not None:
         measurement["data_seed"] = args.data_seed
+    if args.sqlite_page_size is not None:
+        measurement["page_size"] = args.sqlite_page_size
     return measurement or None
 
 
@@ -191,13 +206,18 @@ def _spec_from_args(args: argparse.Namespace) -> GridSpec:
         if raw:
             overrides[axis] = tuple(part.strip() for part in raw.split(",") if part.strip())
     if (args.measured_rows is not None or args.data_seed is not None) and (
-        args.backend != "measured"
+        args.backend not in ("measured", "sqlite")
     ):
-        raise GridError("--measured-rows/--data-seed require --backend measured")
+        raise GridError(
+            "--measured-rows/--data-seed require --backend measured or sqlite"
+        )
+    if args.sqlite_page_size is not None and args.backend != "sqlite":
+        raise GridError("--sqlite-page-size requires --backend sqlite")
     if not overrides and args.backend == "estimated":
         return base
     suffixes = [name for name, used in (("custom", bool(overrides)),
-                                        ("measured", args.backend == "measured")) if used]
+                                        (args.backend, args.backend != "estimated"))
+                if used]
     return GridSpec(
         name="+".join([base.name] + suffixes),
         algorithms=overrides.get("algorithms", base.algorithms),

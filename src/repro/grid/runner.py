@@ -196,6 +196,22 @@ class CellResult:
             return measured
         return None
 
+    @property
+    def sqlite(self) -> Optional[Dict[str, object]]:
+        """The sqlite-engine section, or ``None``.
+
+        ``None`` for failed cells and cells of other backends.  The section
+        holds only the deterministic facts (settings, prediction, scan
+        accounting); the engine's wall clock lives in
+        ``payload["timing"]["sqlite_seconds"]`` / ``["sqlite_query_seconds"]``.
+        """
+        if self.payload is None:
+            return None
+        section = self.payload.get("sqlite")
+        if isinstance(section, dict) and section.get("supported"):
+            return section
+        return None
+
 
 @dataclass
 class GridReport:

@@ -24,14 +24,17 @@ sharing ablation), ``hdd:small-buffer`` (80 KB buffer, the paper's fragility
 stress), ``mainmemory`` (cache-miss model of Table 6).  Custom workloads and
 models register via :func:`register_workload` / :func:`register_cost_model`.
 
-Cells come in two *backends*: ``"estimated"`` (the default — the cell's
-numbers are analytical cost-model outputs, exactly as before) and
+Cells come in three *backends*: ``"estimated"`` (the default — the cell's
+numbers are analytical cost-model outputs, exactly as before),
 ``"measured"`` — each cell additionally executes its computed layout on the
 vectorized scan executor (:mod:`repro.exec`) and records the
-estimated-vs-measured agreement.  Measured cells carry ``measurement``
-settings (``rows``: measured row count, ``data_seed``: synthetic data seed);
-together with the cost model's disk characteristics these are part of the
-cell's cache identity (see :func:`repro.grid.cache.cell_inputs`).
+estimated-vs-measured agreement — and ``"sqlite"`` — each cell materialises
+its layout as real SQLite tables (:mod:`repro.engine_x`) and times the
+workload on the engine.  Measured and sqlite cells carry ``measurement``
+settings (``rows``: measured row count, ``data_seed``: synthetic data seed,
+plus ``page_size`` for sqlite cells); together with the execution engine's
+parameters these are part of the cell's cache identity (see
+:func:`repro.grid.cache.cell_inputs`).
 """
 
 from __future__ import annotations
@@ -72,28 +75,40 @@ class GridExecutionError(GridError):
 
 # -- cells and specs -----------------------------------------------------------
 
-#: Valid cell backends: purely analytical, or analytical plus a measured
-#: execution of the computed layout on the vectorized scan executor.
-BACKENDS = ("estimated", "measured")
+#: Valid cell backends: purely analytical, analytical plus a measured
+#: execution on the vectorized scan executor, or analytical plus a real
+#: execution on embedded SQLite.
+BACKENDS = ("estimated", "measured", "sqlite")
 
-#: Valid keys of the measured backend's settings.
-MEASUREMENT_KEYS = ("rows", "data_seed")
+#: Backends that execute layouts and therefore accept measurement settings.
+EXECUTING_BACKENDS = ("measured", "sqlite")
+
+#: Valid keys of the execution settings, per executing backend.
+_BACKEND_MEASUREMENT_KEYS = {
+    "measured": ("rows", "data_seed"),
+    "sqlite": ("rows", "data_seed", "page_size"),
+}
+
+#: Union of every backend's valid measurement keys (kept for introspection).
+MEASUREMENT_KEYS = ("rows", "data_seed", "page_size")
 
 
 def canonical_measurement(
     measurement: Optional[Mapping[str, object]],
+    backend: str = "measured",
 ) -> Tuple[Tuple[str, int], ...]:
-    """Validate measured-backend settings and return the canonical tuple form."""
+    """Validate one backend's execution settings; canonical tuple form."""
     if not measurement:
         return ()
-    unknown = set(measurement) - set(MEASUREMENT_KEYS)
+    valid = _BACKEND_MEASUREMENT_KEYS.get(backend, ())
+    unknown = set(measurement) - set(valid)
     if unknown:
         raise GridError(
-            f"unknown measurement settings {sorted(unknown)}; "
-            f"valid: {sorted(MEASUREMENT_KEYS)}"
+            f"unknown measurement settings {sorted(unknown)} for backend "
+            f"{backend!r}; valid: {sorted(valid)}"
         )
     canonical = []
-    for key in MEASUREMENT_KEYS:
+    for key in valid:
         if key in measurement:
             try:
                 value = int(measurement[key])
@@ -104,6 +119,14 @@ def canonical_measurement(
                 ) from None
             if key == "rows" and value < 1:
                 raise GridError("measurement setting 'rows' must be >= 1")
+            if key == "page_size":
+                from repro.engine_x.executor import PAGE_SIZES
+
+                if value not in PAGE_SIZES:
+                    raise GridError(
+                        f"measurement setting 'page_size' must be one of "
+                        f"{list(PAGE_SIZES)}, got {value}"
+                    )
             canonical.append((key, value))
     return tuple(canonical)
 
@@ -127,6 +150,25 @@ def resolve_measurement(
     }
 
 
+def resolve_sqlite_measurement(
+    measurement: Optional[Mapping[str, object]],
+) -> Dict[str, int]:
+    """Sqlite-backend settings with defaults applied — the executed values.
+
+    The sqlite counterpart of :func:`resolve_measurement`: the same rows and
+    data-seed defaults plus the engine's page size, shared by the cache
+    fingerprint (:func:`repro.grid.cache.sqlite_execution_fingerprint`) and
+    the worker so an explicit default hashes identically to the implicit one.
+    """
+    from repro.engine_x.executor import DEFAULT_PAGE_SIZE
+
+    settings = resolve_measurement(measurement)
+    settings["page_size"] = int(
+        dict(measurement or {}).get("page_size", DEFAULT_PAGE_SIZE)
+    )
+    return settings
+
+
 @dataclass(frozen=True)
 class GridCell:
     """One (algorithm, workload, cost model) combination of a grid."""
@@ -137,9 +179,9 @@ class GridCell:
     #: Algorithm constructor options in canonical (sorted) tuple form so the
     #: cell stays hashable; use :meth:`options` for the dict view.
     algorithm_options: Tuple[Tuple[str, object], ...] = ()
-    #: Cell backend: ``"estimated"`` or ``"measured"``.
+    #: Cell backend: ``"estimated"``, ``"measured"`` or ``"sqlite"``.
     backend: str = "estimated"
-    #: Measured-backend settings in canonical tuple form; use
+    #: Execution-backend settings in canonical tuple form; use
     #: :meth:`measurement_options` for the dict view.
     measurement: Tuple[Tuple[str, int], ...] = ()
 
@@ -167,9 +209,9 @@ class GridSpec:
     ``algorithm_options`` maps algorithm name to constructor options applied
     to every cell of that algorithm (the same convention as
     :class:`~repro.core.advisor.LayoutAdvisor`).  ``backend`` selects the
-    cell kind for the whole grid (``"estimated"`` or ``"measured"``);
-    ``measurement`` carries the measured backend's ``rows`` / ``data_seed``
-    settings.
+    cell kind for the whole grid (``"estimated"``, ``"measured"`` or
+    ``"sqlite"``); ``measurement`` carries the executing backend's ``rows`` /
+    ``data_seed`` (/ ``page_size`` for sqlite) settings.
     """
 
     name: str
@@ -203,8 +245,11 @@ class GridSpec:
             raise GridError(
                 f"unknown backend {backend!r}; available: {list(BACKENDS)}"
             )
-        if measurement and backend != "measured":
-            raise GridError("measurement settings require backend='measured'")
+        if measurement and backend not in EXECUTING_BACKENDS:
+            raise GridError(
+                "measurement settings require an executing backend "
+                f"({' or '.join(repr(b) for b in EXECUTING_BACKENDS)})"
+            )
         canonical_options = tuple(
             sorted(
                 (algorithm, tuple(sorted(options.items())))
@@ -217,7 +262,9 @@ class GridSpec:
         object.__setattr__(self, "cost_models", tuple(cost_models))
         object.__setattr__(self, "algorithm_options", canonical_options)
         object.__setattr__(self, "backend", backend)
-        object.__setattr__(self, "measurement", canonical_measurement(measurement))
+        object.__setattr__(
+            self, "measurement", canonical_measurement(measurement, backend)
+        )
 
     @property
     def cell_count(self) -> int:

@@ -50,6 +50,7 @@ from repro.grid.spec import (
     GridCell,
     resolve_cost_model,
     resolve_measurement,
+    resolve_sqlite_measurement,
     resolve_workload,
 )
 from repro.metrics.agreement import relative_error
@@ -225,6 +226,60 @@ def attach_measured_section(
     payload["timing"]["measured_cpu_seconds"] = run.cpu_seconds
 
 
+def attach_sqlite_section(
+    payload: Dict[str, object],
+    workload: Workload,
+    partitioning: Partitioning,
+    cost_model: CostModel,
+    measurement: Dict[str, int],
+) -> None:
+    """Execute the cell's layout on embedded SQLite, record the comparison.
+
+    The deterministic part — the execution settings, the model's prediction
+    at measured scale, and the scan accounting derived from the database
+    catalog — goes into ``payload["sqlite"]``, which the cache content-hashes.
+    The engine's wall clock is genuinely non-deterministic and joins the
+    ``timing`` section (total weighted seconds plus the per-query trimmed
+    means the agreement views rank).
+
+    Every cost model participates: unlike the measured backend (which replays
+    the disk model's own buffered scans and needs a disk), the engine
+    comparison is a *ranking* against real execution, which is meaningful for
+    any model's predictions.
+    """
+    from repro.engine_x.executor import SQLiteExecutor
+
+    inner = unwrap_cost_model(cost_model)
+    settings = resolve_sqlite_measurement(measurement)
+    data_key = (workload.schema, settings["rows"], settings["data_seed"])
+    executor = SQLiteExecutor(
+        partitioning,
+        rows=settings["rows"],
+        data_seed=settings["data_seed"],
+        page_size=settings["page_size"],
+        data=_measured_data.get(data_key),
+    )
+    try:
+        _measured_data.setdefault(data_key, executor.data)
+        run = executor.execute_workload(workload)
+        predicted = executor.predicted_cost(workload, inner)
+    finally:
+        executor.close()
+    payload["sqlite"] = {
+        "supported": True,
+        "engine": "sqlite",
+        "rows": run.rows,
+        "data_seed": settings["data_seed"],
+        "page_size": settings["page_size"],
+        "group_tables": partitioning.partition_count,
+        "predicted_seconds": predicted,
+        "rows_scanned": run.rows_scanned,
+        "bytes_scanned": run.bytes_scanned,
+    }
+    payload["timing"]["sqlite_seconds"] = run.elapsed_seconds
+    payload["timing"]["sqlite_query_seconds"] = run.seconds_by_query()
+
+
 def execute_cell(cell: GridCell) -> Tuple[GridCell, Dict[str, object]]:
     """Run one cell and return ``(cell, payload)``.
 
@@ -242,6 +297,11 @@ def execute_cell(cell: GridCell) -> Tuple[GridCell, Dict[str, object]]:
     payload = result_to_payload(result, workload, row_cost, column_cost)
     if cell.backend == "measured":
         attach_measured_section(
+            payload, workload, result.partitioning, cost_model,
+            cell.measurement_options(),
+        )
+    elif cell.backend == "sqlite":
+        attach_sqlite_section(
             payload, workload, result.partitioning, cost_model,
             cell.measurement_options(),
         )

@@ -201,6 +201,10 @@ class TestPayoffLayoutsAndDbmsX:
             scale_factor=SCALE_FACTOR, tables=("partsupp", "customer", "supplier")
         )
         assert len(rows) == 2
+        # The shared Table-7 schema (repro.experiments.table7): every row
+        # carries the engine/encoding labels plus one column per layout.
+        assert {row["engine"] for row in rows} == {dbms_x_experiment.ENGINE_LABEL}
+        assert len({row["encoding"] for row in rows}) == 2
         for row in rows:
             assert row["row"] > row["column"]
             assert row["row"] > row["hillclimb"]

@@ -1,0 +1,235 @@
+"""Unit tests for the SQLite executor: materialisation, timing, lifecycle."""
+
+import os
+
+import pytest
+
+from repro.core.partitioning import (
+    Partitioning,
+    column_partitioning,
+    row_partitioning,
+)
+from repro.cost.hdd import HDDCostModel
+from repro.engine_x.executor import (
+    DEFAULT_PAGE_SIZE,
+    PAGE_SIZES,
+    SQLiteExecutor,
+    TMPDIR_ENV_VAR,
+    resolve_database_dir,
+    trimmed_mean,
+)
+from repro.engine_x.sql import RID_COLUMN, group_table_name, quote_identifier
+from repro.storage.data import generate_table_data
+from repro.workload.query import Query
+from repro.workload.schema import Column, TableSchema
+from repro.workload.workload import Workload
+
+ROWS = 500
+
+
+@pytest.fixture
+def workload():
+    schema = TableSchema(
+        "exu",
+        [Column("a", 8, "bigint"), Column("b", 8, "double"),
+         Column("c", 24, "char"), Column("d", 4, "integer")],
+        ROWS,
+    )
+    return Workload(
+        schema,
+        [
+            Query("Q1", ["a", "b"], weight=2.0),
+            Query("Q2", ["c"]),
+            Query("Q3", ["a", "c", "d"], weight=0.5),
+        ],
+        name="executor-unit",
+    )
+
+
+@pytest.fixture
+def grouped(workload):
+    schema = workload.schema
+    return Partitioning(
+        schema,
+        [[schema.index_of("a"), schema.index_of("b")],
+         [schema.index_of("c")],
+         [schema.index_of("d")]],
+    )
+
+
+class TestTrimmedMean:
+    def test_plain_mean_below_three_samples(self):
+        assert trimmed_mean([4.0]) == 4.0
+        assert trimmed_mean([2.0, 6.0]) == 4.0
+
+    def test_drops_min_and_max(self):
+        assert trimmed_mean([100.0, 1.0, 2.0, 3.0, 0.0]) == 2.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            trimmed_mean([])
+
+
+class TestDatabaseDir:
+    def test_explicit_argument_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TMPDIR_ENV_VAR, "/elsewhere")
+        assert resolve_database_dir(str(tmp_path)) == str(tmp_path)
+
+    def test_environment_beats_system_default(self, monkeypatch):
+        monkeypatch.setenv(TMPDIR_ENV_VAR, "/from-env")
+        assert resolve_database_dir() == "/from-env"
+
+    def test_system_default_otherwise(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(TMPDIR_ENV_VAR, raising=False)
+        monkeypatch.setenv("TMPDIR", str(tmp_path))
+        import tempfile
+
+        tempfile.tempdir = None  # force re-resolution from the environment
+        try:
+            assert resolve_database_dir() == str(tmp_path)
+        finally:
+            tempfile.tempdir = None
+
+
+class TestMaterialisation:
+    def test_one_table_per_group_with_shared_rid(self, grouped, tmp_path):
+        with SQLiteExecutor(grouped, rows=ROWS, database_dir=str(tmp_path)) as ex:
+            names = {
+                row[0]
+                for row in ex.connection.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'"
+                )
+            }
+            assert names == {group_table_name(ex.schema, i) for i in range(3)}
+            for i in range(3):
+                table = quote_identifier(group_table_name(ex.schema, i))
+                info = ex.connection.execute(f"PRAGMA table_info({table})").fetchall()
+                assert info[0][1] == RID_COLUMN
+                count = ex.connection.execute(
+                    f"SELECT count(*) FROM {table}"
+                ).fetchone()[0]
+                assert count == ROWS
+
+    def test_page_size_is_applied(self, grouped, tmp_path):
+        for page_size in (512, 8192):
+            with SQLiteExecutor(
+                grouped, rows=100, page_size=page_size, database_dir=str(tmp_path)
+            ) as ex:
+                actual = ex.connection.execute("PRAGMA page_size").fetchone()[0]
+                assert actual == page_size
+
+    def test_without_rowid_reaches_the_ddl(self, grouped, tmp_path):
+        with SQLiteExecutor(
+            grouped, rows=100, without_rowid=True, database_dir=str(tmp_path)
+        ) as ex:
+            ddl = [
+                row[0]
+                for row in ex.connection.execute(
+                    "SELECT sql FROM sqlite_master WHERE type = 'table'"
+                )
+            ]
+            assert all(statement.endswith("WITHOUT ROWID") for statement in ddl)
+
+    def test_rows_capped_at_schema_row_count(self, grouped, tmp_path):
+        with SQLiteExecutor(
+            grouped, rows=10 * ROWS, database_dir=str(tmp_path)
+        ) as ex:
+            assert ex.rows == ROWS
+
+    def test_invalid_parameters_are_rejected(self, grouped, tmp_path):
+        with pytest.raises(ValueError):
+            SQLiteExecutor(grouped, rows=100, page_size=1000)
+        with pytest.raises(ValueError):
+            SQLiteExecutor(grouped, rows=100, repeats=0)
+        with pytest.raises(ValueError):
+            SQLiteExecutor(grouped, rows=0)
+        assert DEFAULT_PAGE_SIZE in PAGE_SIZES
+
+    def test_mismatched_data_is_rejected(self, grouped, workload, tmp_path):
+        short = generate_table_data(
+            workload.schema.with_row_count(ROWS - 1), random_state=0
+        )
+        with pytest.raises(ValueError):
+            SQLiteExecutor(grouped, rows=ROWS, data=short, database_dir=str(tmp_path))
+
+
+class TestExecution:
+    def test_workload_run_accounting(self, grouped, workload, tmp_path):
+        with SQLiteExecutor(
+            grouped, rows=ROWS, repeats=3, database_dir=str(tmp_path)
+        ) as ex:
+            run = ex.execute_workload(workload)
+        by_query = {r.query: r for r in run.runs}
+        assert by_query["Q1"].groups_read == 1  # a, b share a group
+        assert by_query["Q2"].groups_read == 1
+        assert by_query["Q3"].groups_read == 3
+        assert by_query["Q1"].rows_scanned == ROWS
+        assert by_query["Q3"].rows_scanned == 3 * ROWS
+        assert by_query["Q1"].bytes_scanned == 16 * ROWS
+        assert by_query["Q3"].bytes_scanned == (16 + 24 + 4) * ROWS
+        assert run.rows_scanned == sum(r.rows_scanned for r in run.runs)
+        # Weighted total: Q1 counts twice, Q3 half.
+        expected = (
+            2.0 * by_query["Q1"].seconds
+            + by_query["Q2"].seconds
+            + 0.5 * by_query["Q3"].seconds
+        )
+        assert run.elapsed_seconds == pytest.approx(expected)
+        assert set(run.seconds_by_query()) == {"Q1", "Q2", "Q3"}
+        assert "sqlite" in run.describe()
+
+    def test_row_and_column_layouts_share_results(self, workload, tmp_path):
+        data = generate_table_data(
+            workload.schema.with_row_count(ROWS), random_state=0
+        )
+        runs = {}
+        for label, layout in (
+            ("row", row_partitioning(workload.schema)),
+            ("column", column_partitioning(workload.schema)),
+        ):
+            with SQLiteExecutor(
+                layout, rows=ROWS, data=data, repeats=1, database_dir=str(tmp_path)
+            ) as ex:
+                runs[label] = ex.execute_workload(workload)
+        for r_row, r_col in zip(runs["row"].runs, runs["column"].runs):
+            assert r_row.result_rows == r_col.result_rows == ROWS
+
+    def test_foreign_workload_is_rejected(self, grouped, tmp_path):
+        other_schema = TableSchema("other", [Column("x", 4)], ROWS)
+        other = Workload(other_schema, [Query("Q1", ["x"])], name="other")
+        with SQLiteExecutor(grouped, rows=100, database_dir=str(tmp_path)) as ex:
+            with pytest.raises(ValueError):
+                ex.execute_workload(other)
+
+    def test_predicted_costs_use_the_measured_scale(self, grouped, workload, tmp_path):
+        model = HDDCostModel()
+        with SQLiteExecutor(grouped, rows=ROWS, database_dir=str(tmp_path)) as ex:
+            predicted = ex.predicted_cost(workload, model)
+            per_query = ex.predicted_query_costs(workload, model)
+        scaled = workload.with_schema(workload.schema.with_row_count(ROWS))
+        assert predicted == pytest.approx(
+            model.workload_cost(scaled, ex.partitioning)
+        )
+        assert set(per_query) == {"Q1", "Q2", "Q3"}
+
+
+class TestLifecycle:
+    def test_close_removes_the_database_file(self, grouped, tmp_path):
+        ex = SQLiteExecutor(grouped, rows=100, database_dir=str(tmp_path))
+        path = ex.database_path
+        assert os.path.exists(path)
+        ex.close()
+        assert not os.path.exists(path)
+        with pytest.raises(ValueError):
+            ex.connection
+
+    def test_close_is_idempotent(self, grouped, tmp_path):
+        ex = SQLiteExecutor(grouped, rows=100, database_dir=str(tmp_path))
+        ex.close()
+        ex.close()
+
+    def test_unusable_directory_raises_at_construction(self, grouped, tmp_path):
+        decoy = tmp_path / "not-a-directory"
+        decoy.write_text("occupied")
+        with pytest.raises(OSError):
+            SQLiteExecutor(grouped, rows=100, database_dir=str(decoy))
