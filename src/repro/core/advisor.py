@@ -11,7 +11,7 @@ joins, pay-off).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.algorithm import PartitioningResult, get_algorithm
 from repro.core.partitioning import (
@@ -315,6 +315,9 @@ class LayoutAdvisor:
         cell_timeout: Optional[float] = None,
         retries: int = 0,
         fail_fast: bool = False,
+        trace: Optional[str] = None,
+        quiet: bool = True,
+        progress: Optional[Callable[[str], None]] = None,
     ):
         """Run a comparison grid (the paper's systematic study) and return its report.
 
@@ -341,6 +344,12 @@ class LayoutAdvisor:
         first exhausted cell with
         :class:`~repro.grid.spec.GridExecutionError`.  See
         ``docs/ROBUSTNESS.md``.
+
+        Observability flows through unchanged (``docs/OBSERVABILITY.md``):
+        ``trace`` writes the run's JSONL trace file, ``quiet=False`` prints
+        one line per completed cell (or pass an explicit ``progress``
+        callback), and the returned report carries
+        :attr:`~repro.grid.runner.GridReport.telemetry` either way.
         """
         # Imported here to avoid a circular import at package load time.
         from repro.grid import GridSpec, builtin_grid, run_grid
@@ -357,6 +366,8 @@ class LayoutAdvisor:
                 cost_models=tuple(cost_models),
                 algorithm_options=self.algorithm_options,
             )
+        if progress is None and not quiet:
+            progress = lambda line: print(f"  {line}")  # noqa: E731
         return run_grid(
             spec,
             cache_dir=cache_dir,
@@ -365,6 +376,8 @@ class LayoutAdvisor:
             cell_timeout=cell_timeout,
             retries=retries,
             fail_fast=fail_fast,
+            trace=trace,
+            progress=progress,
         )
 
 

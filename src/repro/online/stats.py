@@ -43,6 +43,26 @@ from repro.workload.workload import Workload
 #: magnitudes are folded back into the entries to keep floats well-scaled.
 _RENORMALIZE_BELOW = 1e-12
 
+#: Relative threshold below which a post-eviction residual is snapped to
+#: exactly zero (see :func:`_clamp_residual`).
+_RESIDUAL_RELATIVE_EPS = 1e-12
+
+
+def _clamp_residual(value: float, scale: float) -> float:
+    """Snap float residue left by an eviction subtraction to exact zero.
+
+    Subtracting an arrival's contribution back out of a running float sum
+    can leave ±1e-16-ish mass where the true remainder is zero (catastrophic
+    cancellation with mixed weights) — including *negative* mass, which no
+    accumulated weight can legitimately be.  Anything at or below a relative
+    epsilon of the just-subtracted contribution (``scale``) is
+    indistinguishable from such residue and becomes exactly ``0.0``; real
+    remaining mass is orders of magnitude above it and passes through.
+    """
+    if value <= 0.0 or value <= abs(scale) * _RESIDUAL_RELATIVE_EPS:
+        return 0.0
+    return value
+
 
 class WorkloadStatistics(abc.ABC):
     """Common interface of the incrementally maintained workload summaries."""
@@ -177,13 +197,18 @@ class SlidingWindowStats(WorkloadStatistics):
             del self._footprints[mask]
         else:
             self._counts[mask] = count
-            self._footprints[mask] -= weight
-        self._total_weight -= weight
+            self._footprints[mask] = _clamp_residual(
+                self._footprints[mask] - weight, weight
+            )
+        self._total_weight = _clamp_residual(self._total_weight - weight, weight)
         indices = indices_of_mask(mask)
         for i in indices:
             for j in indices:
-                self._affinity[i, j] -= weight
-        self._needed_bytes -= weight * self._row_sizes[mask] * self.schema.row_count
+                self._affinity[i, j] = _clamp_residual(
+                    self._affinity[i, j] - weight, weight
+                )
+        needed = weight * self._row_sizes[mask] * self.schema.row_count
+        self._needed_bytes = _clamp_residual(self._needed_bytes - needed, needed)
 
     @property
     def size(self) -> int:

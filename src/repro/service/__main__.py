@@ -1,0 +1,124 @@
+"""Command line entry point: ``python -m repro.service``.
+
+Boots the advisor service and serves until interrupted; SIGINT/SIGTERM
+trigger a graceful shutdown that drains queued and in-flight jobs before the
+socket closes (a second signal exits immediately).
+
+Examples::
+
+    python -m repro.service --port 8137 --cache-dir .grid-cache --workers 2
+    python -m repro.service --port 0 --trace-dir traces   # ephemeral port
+
+See ``docs/SERVICE.md`` for the endpoint reference and curl walkthrough.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+from typing import List, Optional
+
+from repro.service.app import DEFAULT_PORT, create_service
+
+#: Default result-cache root (matches ``python -m repro.grid``, so the
+#: service resumes from caches populated by CLI runs and vice versa).
+DEFAULT_CACHE_DIR = ".grid-cache"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve the layout advisor over HTTP (stdlib only).",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help="TCP port; 0 picks an ephemeral port (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help="result-cache root shared with python -m repro.grid "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache (jobs still dedup in memory)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="job worker threads — concurrent jobs, not HTTP connections "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help="write one JSONL trace per compare job into this directory "
+        "(readable by python -m repro.obs summary)",
+    )
+    parser.add_argument(
+        "--log-requests",
+        action="store_true",
+        help="echo one access-log line per HTTP request to stderr",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the startup banner"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.workers < 1:
+        build_parser().error("--workers must be >= 1")
+    service = create_service(
+        host=args.host,
+        port=args.port,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        workers=args.workers,
+        trace_dir=args.trace_dir,
+        log_requests=args.log_requests,
+    )
+    if not args.quiet:
+        cache = service.config.cache_dir or "(disabled)"
+        print(f"advisor service listening on {service.url}")
+        print(f"  result cache : {cache}")
+        print(f"  job workers  : {service.config.workers}")
+        if service.config.trace_dir:
+            print(f"  traces       : {service.config.trace_dir}/<job>.jsonl")
+        print("  endpoints    : POST /v1/recommend /v1/compare /v1/validate; "
+              "GET /health /v1/jobs[/<id>]")
+
+    interrupted = threading.Event()
+
+    def _handle(signum, frame) -> None:
+        if interrupted.is_set():  # second signal: give up on draining
+            sys.exit(1)
+        interrupted.set()
+
+    signal.signal(signal.SIGINT, _handle)
+    signal.signal(signal.SIGTERM, _handle)
+
+    service.serve_in_thread()
+    try:
+        interrupted.wait()
+    finally:
+        if not args.quiet:
+            print("shutting down: draining in-flight jobs ...")
+        service.stop(drain=True)
+        if not args.quiet:
+            print("bye")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

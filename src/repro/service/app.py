@@ -1,0 +1,302 @@
+"""The HTTP layer: stdlib-only routes over the job registry.
+
+The server is ``http.server.ThreadingHTTPServer`` — one thread per
+connection, no framework, no new dependency.  Handler threads do only cheap
+work (parse, validate, submit, look up); every computation runs on the
+registry's worker threads, so a slow grid never blocks the accept loop.
+
+Routes (``docs/SERVICE.md`` is the full reference):
+
+====================  ========================================================
+``POST /v1/recommend``  submit an advisor recommendation job
+``POST /v1/compare``    submit a comparison-grid job (async by design)
+``POST /v1/validate``   submit a cost-validation job
+``GET /health``         liveness + job-state counts + uptime
+``GET /v1/jobs``        paginated job listing (``offset`` / ``limit``)
+``GET /v1/jobs/<id>``   one job, result included when finished
+====================  ========================================================
+
+Submissions answer ``202 Accepted`` with the job document and a ``poll``
+path; a deduped resubmission of a finished job carries the result
+immediately.  Every error — malformed JSON, invalid spec, unknown path or
+method, oversized body — is a JSON envelope ``{"error": {"status", "type",
+"message"}}`` with the matching status code.
+
+Construction switches :func:`~repro.cost.evaluator.enable_cache_sharing` on
+so concurrent jobs share one memoized evaluator pool per schema (exactly
+what grid pool workers do); :meth:`LayoutAdvisorService.stop` restores the
+previous setting and drains in-flight jobs before closing the socket.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.cost.evaluator import clear_shared_caches, enable_cache_sharing
+from repro.obs import metrics as obs_metrics
+from repro.service.jobs import JOB_KINDS, JobRegistry, ServiceError, execute_job
+
+#: Default TCP port of ``python -m repro.service``.
+DEFAULT_PORT = 8137
+
+#: Largest accepted request body; grid specs are tiny, so anything bigger
+#: than this is a mistake (or abuse), answered with 413.
+MAX_BODY_BYTES = 1 << 20
+
+# HTTP-level throughput counters (docs/OBSERVABILITY.md).
+_HTTP_REQUESTS = obs_metrics.counter("service.http.requests")
+_HTTP_ERRORS = obs_metrics.counter("service.http.errors")
+_HTTP_SECONDS = obs_metrics.histogram("service.http.seconds")
+
+
+@dataclass
+class ServiceConfig:
+    """Everything a running service instance is configured by."""
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    #: Result-cache root shared by every compare job; ``None`` disables the
+    #: persistent cache (jobs still dedup in the registry).
+    cache_dir: Optional[str] = ".grid-cache"
+    #: Job worker threads (concurrent jobs, not HTTP connections).
+    workers: int = 2
+    #: Directory receiving one JSONL trace per compare job; ``None``: no
+    #: tracing (traced runs are serialised — the trace sink is global).
+    trace_dir: Optional[str] = None
+    #: Echo one access-log line per request to stderr (off by default; the
+    #: test suite and CI smoke drive the server hard).
+    log_requests: bool = False
+
+
+class LayoutAdvisorService(ThreadingHTTPServer):
+    """The advisor service: HTTP front end plus the job scheduling core."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, config: ServiceConfig) -> None:
+        super().__init__((config.host, config.port), ServiceHandler)
+        self.config = config
+        self.started_at = time.time()
+        if config.trace_dir is not None:
+            os.makedirs(config.trace_dir, exist_ok=True)
+        # One shared evaluator pool per schema for every concurrent job —
+        # the service-lifetime equivalent of what each grid worker process
+        # does for its own lifetime.
+        self._previous_sharing = enable_cache_sharing(True)
+        self.registry = JobRegistry(
+            runner=lambda job: execute_job(
+                job, cache_dir=config.cache_dir, trace_dir=config.trace_dir
+            ),
+            workers=config.workers,
+        )
+        self._serve_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        """The service's base URL (port resolved, useful with ``port=0``)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_in_thread(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread (tests, the CLI)."""
+        if self._serve_thread is not None:
+            raise RuntimeError("service is already serving")
+        thread = threading.Thread(
+            target=self.serve_forever, name="service-http", daemon=True
+        )
+        self._serve_thread = thread
+        thread.start()
+        return thread
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Graceful shutdown: drain jobs, stop serving, restore globals.
+
+        ``drain=True`` (the default) blocks until queued and in-flight jobs
+        finish — no accepted work is lost.  ``drain=False`` stops the
+        workers at the next queue sentinel without waiting.
+        """
+        self.registry.shutdown(wait=drain, timeout=timeout)
+        if self._serve_thread is not None:
+            self.shutdown()
+            self._serve_thread.join(timeout=5)
+            self._serve_thread = None
+        self.server_close()
+        enable_cache_sharing(self._previous_sharing)
+        if not self._previous_sharing:
+            # Sharing was switched on for this service alone — release the
+            # memoized evaluator profiles instead of retaining them for the
+            # process lifetime.
+            clear_shared_caches()
+
+    # -- health ----------------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        """The ``GET /health`` document."""
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self.started_at,
+            "jobs": self.registry.counts(),
+            "job_workers": self.registry.worker_count,
+            "cache_dir": self.config.cache_dir,
+            "trace_dir": self.config.trace_dir,
+        }
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes one connection's requests onto the service's registry."""
+
+    # Keep-alive + mandatory Content-Length framing (every response is a
+    # fully buffered JSON document, so the length is always known).
+    protocol_version = "HTTP/1.1"
+    server: LayoutAdvisorService
+
+    # -- plumbing --------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.config.log_requests:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_envelope(self, error: ServiceError) -> None:
+        _HTTP_ERRORS.value += 1
+        self._send_json(error.status, error.to_envelope())
+
+    def _read_json_body(self) -> object:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise ServiceError(400, "invalid Content-Length header") from None
+        if length <= 0:
+            raise ServiceError(400, "request body must be a JSON object")
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(
+                413, f"request body exceeds {MAX_BODY_BYTES} bytes", "PayloadTooLarge"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceError(400, f"request body is not valid JSON: {error}") from None
+
+    def _query(self) -> Tuple[str, Dict[str, str]]:
+        parsed = urlparse(self.path)
+        query = {
+            key: values[-1] for key, values in parse_qs(parsed.query).items()
+        }
+        return parsed.path.rstrip("/") or "/", query
+
+    def _int_query(self, query: Dict[str, str], key: str, default: int) -> int:
+        raw = query.get(key)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise ServiceError(400, f"query parameter {key!r} must be an integer") from None
+
+    # -- routes ----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        started = time.perf_counter()
+        _HTTP_REQUESTS.value += 1
+        try:
+            path, query = self._query()
+            if path == "/health":
+                self._send_json(200, self.server.health())
+            elif path == "/v1/jobs":
+                offset = self._int_query(query, "offset", 0)
+                limit = min(self._int_query(query, "limit", 50), 500)
+                jobs, total = self.server.registry.jobs(offset=offset, limit=limit)
+                self._send_json(
+                    200,
+                    {
+                        "jobs": [job.to_dict(include_result=False) for job in jobs],
+                        "total": total,
+                        "offset": offset,
+                        "limit": limit,
+                    },
+                )
+            elif path.startswith("/v1/jobs/"):
+                job_id = path[len("/v1/jobs/") :]
+                job = self.server.registry.get(job_id)
+                if job is None:
+                    raise ServiceError(404, f"unknown job {job_id!r}", "NotFound")
+                self._send_json(200, job.to_dict())
+            else:
+                raise ServiceError(404, f"no such path {path!r}", "NotFound")
+        except ServiceError as error:
+            self._send_error_envelope(error)
+        finally:
+            _HTTP_SECONDS.observe(time.perf_counter() - started)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        started = time.perf_counter()
+        _HTTP_REQUESTS.value += 1
+        try:
+            path, _ = self._query()
+            if not path.startswith("/v1/"):
+                raise ServiceError(404, f"no such path {path!r}", "NotFound")
+            kind = path[len("/v1/") :]
+            if kind not in JOB_KINDS:
+                raise ServiceError(
+                    404,
+                    f"unknown job kind {kind!r}; available: {list(JOB_KINDS)}",
+                    "NotFound",
+                )
+            body = self._read_json_body()
+            job, deduped = self.server.registry.submit(kind, body)
+            self._send_json(
+                202,
+                {
+                    "job": job.to_dict(),
+                    "deduped": deduped,
+                    "poll": f"/v1/jobs/{job.id}",
+                },
+            )
+        except ServiceError as error:
+            self._send_error_envelope(error)
+        finally:
+            _HTTP_SECONDS.observe(time.perf_counter() - started)
+
+
+def create_service(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    cache_dir: Optional[str] = ".grid-cache",
+    workers: int = 2,
+    trace_dir: Optional[str] = None,
+    log_requests: bool = False,
+) -> LayoutAdvisorService:
+    """Build a service bound to ``host:port`` (``port=0``: ephemeral port).
+
+    The server is not serving yet: call :meth:`LayoutAdvisorService
+    .serve_in_thread` (tests, embedding) or ``serve_forever`` (the CLI), and
+    :meth:`LayoutAdvisorService.stop` to shut down gracefully.
+    """
+    return LayoutAdvisorService(
+        ServiceConfig(
+            host=host,
+            port=port,
+            cache_dir=cache_dir,
+            workers=workers,
+            trace_dir=trace_dir,
+            log_requests=log_requests,
+        )
+    )

@@ -1,0 +1,770 @@
+"""Async jobs over the grid scheduling core: normalisation, dedup, scheduling.
+
+A *job* is one submitted request (``recommend`` / ``compare`` / ``validate``)
+flowing through ``queued -> running -> done | failed``.  The pieces:
+
+* :func:`normalize_request` — validate a raw JSON body early (in the HTTP
+  thread, so a bad spec is a 400, never a failed job) and reduce it to its
+  canonical form: defaults applied, axes resolved, deterministic ordering.
+* :func:`job_id_for` — the dedup key: the SHA-256 content hash of the
+  canonical request (via the result cache's :func:`~repro.grid.cache
+  .canonical_json`).  Two clients submitting the same spec — even one via
+  ``{"grid": "tiny"}`` and one via the equivalent explicit axes — share one
+  job and therefore one computation.  ``workers`` (pure parallelism, cannot
+  change the result) stays out of the hash; everything else is in it.
+* :class:`JobRegistry` — the scheduler: a bounded set of daemon worker
+  threads draining a FIFO queue.  Submissions of an already-known job return
+  it instead of enqueuing twice (a *failed* job is the exception: it is reset
+  and retried).  Shutdown is graceful: sentinel-behind-the-queue, so queued
+  and in-flight jobs drain before the workers exit.
+* :func:`execute_job` — the per-kind executors.  Nothing is reimplemented:
+  ``compare`` calls :func:`repro.grid.runner.run_grid` (the PR-5 supervisor,
+  used here as a callable scheduling core, persistent
+  :class:`~repro.grid.cache.ResultCache` included), ``recommend`` and
+  ``validate`` call the :class:`~repro.core.advisor.LayoutAdvisor`.
+
+Every state transition bumps a ``service.jobs.*`` counter and emits a
+``service.job`` trace event (no-op unless a sink is active), so the service's
+throughput and dedup effectiveness are observable exactly like the grid's
+cache (``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+import queue as queue_module
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.grid.cache import canonical_json
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+#: Job kinds, one per exposed advisor entry point.
+JOB_KINDS = ("recommend", "compare", "validate")
+
+#: Job lifecycle states, in order.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+# Service-level throughput and dedup counters (docs/OBSERVABILITY.md).
+_JOBS_SUBMITTED = obs_metrics.counter("service.jobs.submitted")
+_JOBS_DEDUPED = obs_metrics.counter("service.jobs.deduped")
+_JOBS_STARTED = obs_metrics.counter("service.jobs.started")
+_JOBS_COMPLETED = obs_metrics.counter("service.jobs.completed")
+_JOBS_FAILED = obs_metrics.counter("service.jobs.failed")
+_JOBS_RETRIED = obs_metrics.counter("service.jobs.retried")
+_JOB_SECONDS = obs_metrics.histogram("service.job.seconds")
+
+#: Serialises traced job runs: the tracing sink is process-global, so two
+#: concurrently traced ``run_grid`` calls would interleave their span stacks.
+_TRACE_LOCK = threading.Lock()
+
+
+class ServiceError(Exception):
+    """A request error that maps onto an HTTP status and a JSON envelope."""
+
+    def __init__(self, status: int, message: str, error_type: str = "BadRequest") -> None:
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+
+    def to_envelope(self) -> Dict[str, object]:
+        """The JSON error envelope body every error response carries."""
+        return {
+            "error": {
+                "status": self.status,
+                "type": self.error_type,
+                "message": str(self),
+            }
+        }
+
+
+def _jsonable(value: object) -> object:
+    """Recursively coerce a result structure to plain JSON types.
+
+    Library results carry numpy scalars (rank correlations, costs) and tuples
+    (layout groups); the wire format wants floats, ints and lists.
+    """
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return _jsonable(value.item())
+    return str(value)
+
+
+# -- request normalisation -----------------------------------------------------
+
+
+def _require_mapping(body: object) -> Dict[str, object]:
+    if not isinstance(body, dict):
+        raise ServiceError(400, "request body must be a JSON object")
+    return body
+
+
+def _string_list(body: Dict[str, object], key: str) -> Optional[List[str]]:
+    raw = body.get(key)
+    if raw is None:
+        return None
+    if not isinstance(raw, list) or not all(isinstance(item, str) for item in raw):
+        raise ServiceError(400, f"{key!r} must be a list of strings")
+    return list(raw)
+
+
+def _bad_request(error: Exception) -> ServiceError:
+    return ServiceError(400, str(error))
+
+
+def _validate_algorithms(names: List[str]) -> None:
+    from repro.core.algorithm import get_algorithm
+
+    for name in names:
+        try:
+            get_algorithm(name)
+        except (KeyError, ValueError) as error:
+            raise _bad_request(error) from None
+
+
+def _compare_spec(normalized: Dict[str, object]):
+    """Rebuild the :class:`~repro.grid.spec.GridSpec` of a compare request."""
+    from repro.grid.spec import GridSpec
+
+    spec = normalized["spec"]
+    return GridSpec(
+        name=spec["name"],
+        algorithms=spec["algorithms"],
+        workloads=spec["workloads"],
+        cost_models=spec["cost_models"],
+        algorithm_options={
+            name: dict(options) for name, options in spec["algorithm_options"]
+        },
+        backend=spec["backend"],
+        measurement=dict(spec["measurement"]) or None,
+    )
+
+
+def _normalize_compare(body: Dict[str, object]) -> Dict[str, object]:
+    from repro.grid.spec import GridError, GridSpec, builtin_grid
+
+    grid_name = body.get("grid")
+    algorithms = _string_list(body, "algorithms")
+    workloads = _string_list(body, "workloads")
+    cost_models = _string_list(body, "cost_models")
+    measurement = body.get("measurement")
+    if measurement is not None and not isinstance(measurement, dict):
+        raise ServiceError(400, "'measurement' must be a JSON object")
+    algorithm_options = body.get("algorithm_options") or {}
+    if not isinstance(algorithm_options, dict):
+        raise ServiceError(400, "'algorithm_options' must be a JSON object")
+    try:
+        if grid_name is not None:
+            if not isinstance(grid_name, str):
+                raise ServiceError(400, "'grid' must be a builtin grid name")
+            base = builtin_grid(grid_name)
+            spec = GridSpec(
+                name=base.name,
+                algorithms=algorithms or base.algorithms,
+                workloads=workloads or base.workloads,
+                cost_models=cost_models or base.cost_models,
+                algorithm_options=dict(algorithm_options)
+                or {name: dict(options) for name, options in base.algorithm_options},
+                backend=body.get("backend", base.backend),
+                measurement=measurement,
+            )
+        else:
+            if not (algorithms and workloads and cost_models):
+                raise ServiceError(
+                    400,
+                    "a compare request needs either 'grid' or all three of "
+                    "'algorithms', 'workloads', 'cost_models'",
+                )
+            spec = GridSpec(
+                name="service",
+                algorithms=algorithms,
+                workloads=workloads,
+                cost_models=cost_models,
+                algorithm_options=algorithm_options,
+                backend=body.get("backend", "estimated"),
+                measurement=measurement,
+            )
+    except GridError as error:
+        raise _bad_request(error) from None
+    # Resolve every axis value now: an unknown algorithm, workload or cost
+    # model id must be a 400 at submission, not a failed job minutes later.
+    from repro.grid.spec import resolve_cost_model, resolve_workload
+
+    _validate_algorithms(list(spec.algorithms))
+    try:
+        for workload_id in spec.workloads:
+            resolve_workload(workload_id)
+        for cost_model_id in spec.cost_models:
+            resolve_cost_model(cost_model_id)
+    except GridError as error:
+        raise _bad_request(error) from None
+    run = {
+        "workers": _int_field(body, "workers", default=1, minimum=1),
+        "refresh": bool(body.get("refresh", False)),
+        "retries": _int_field(body, "retries", default=0, minimum=0),
+        "cell_timeout": _float_field(body, "cell_timeout"),
+        "fail_fast": bool(body.get("fail_fast", False)),
+    }
+    return {
+        "spec": {
+            # The canonical (hash-stable) spec form: axes as lists, options
+            # and measurement in the spec's own sorted-tuple canonical form.
+            "name": spec.name,
+            "algorithms": list(spec.algorithms),
+            "workloads": list(spec.workloads),
+            "cost_models": list(spec.cost_models),
+            "algorithm_options": [
+                [name, [[key, value] for key, value in options]]
+                for name, options in spec.algorithm_options
+            ],
+            "backend": spec.backend,
+            "measurement": [[key, value] for key, value in spec.measurement],
+        },
+        "run": run,
+    }
+
+
+def _int_field(
+    body: Dict[str, object],
+    key: str,
+    default: Optional[int] = None,
+    minimum: Optional[int] = None,
+) -> Optional[int]:
+    raw = body.get(key, default)
+    if raw is None:
+        return None
+    if isinstance(raw, bool) or not isinstance(raw, int):
+        raise ServiceError(400, f"{key!r} must be an integer")
+    if minimum is not None and raw < minimum:
+        raise ServiceError(400, f"{key!r} must be >= {minimum}")
+    return raw
+
+
+def _float_field(body: Dict[str, object], key: str) -> Optional[float]:
+    raw = body.get(key)
+    if raw is None:
+        return None
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+        raise ServiceError(400, f"{key!r} must be a number")
+    if raw <= 0:
+        raise ServiceError(400, f"{key!r} must be > 0")
+    return float(raw)
+
+
+def _normalize_workload_and_model(
+    body: Dict[str, object],
+) -> Tuple[str, str]:
+    from repro.grid.spec import GridError, resolve_cost_model, resolve_workload
+
+    workload_id = body.get("workload")
+    if not isinstance(workload_id, str) or not workload_id:
+        raise ServiceError(400, "'workload' (a workload id string) is required")
+    cost_model_id = body.get("cost_model", "hdd")
+    if not isinstance(cost_model_id, str):
+        raise ServiceError(400, "'cost_model' must be a cost model id string")
+    try:
+        resolve_workload(workload_id)
+        resolve_cost_model(cost_model_id)
+    except GridError as error:
+        raise _bad_request(error) from None
+    return workload_id, cost_model_id
+
+
+def _normalize_recommend(body: Dict[str, object]) -> Dict[str, object]:
+    from repro.core.advisor import DEFAULT_ALGORITHMS
+
+    workload_id, cost_model_id = _normalize_workload_and_model(body)
+    algorithms = _string_list(body, "algorithms") or list(DEFAULT_ALGORITHMS)
+    _validate_algorithms(algorithms)
+    options = body.get("algorithm_options") or {}
+    if not isinstance(options, dict):
+        raise ServiceError(400, "'algorithm_options' must be a JSON object")
+    return {
+        "workload": workload_id,
+        "cost_model": cost_model_id,
+        "algorithms": algorithms,
+        "algorithm_options": options,
+    }
+
+
+def _normalize_validate(body: Dict[str, object]) -> Dict[str, object]:
+    workload_id, cost_model_id = _normalize_workload_and_model(body)
+    backend = body.get("backend", "measured")
+    if backend not in ("measured", "sqlite"):
+        raise ServiceError(
+            400, f"unknown validation backend {backend!r}; use 'measured' or 'sqlite'"
+        )
+    page_size = _int_field(body, "page_size", minimum=512)
+    if page_size is not None and backend != "sqlite":
+        raise ServiceError(400, "'page_size' applies to backend 'sqlite' only")
+    algorithms = _string_list(body, "algorithms")
+    if algorithms is not None:
+        _validate_algorithms(algorithms)
+    if backend == "measured":
+        # The measured backend needs a disk-based model; fail at submission.
+        from repro.exec.validation import require_measurable
+        from repro.grid.spec import resolve_cost_model
+
+        try:
+            require_measurable(resolve_cost_model(cost_model_id))
+        except (TypeError, ValueError) as error:
+            raise _bad_request(error) from None
+    return {
+        "workload": workload_id,
+        "cost_model": cost_model_id,
+        "backend": backend,
+        "rows": _int_field(body, "rows", minimum=1),
+        "data_seed": _int_field(body, "data_seed", default=0, minimum=0),
+        "page_size": page_size,
+        "algorithms": algorithms,
+        "include_baselines": bool(body.get("include_baselines", True)),
+    }
+
+
+_NORMALIZERS: Dict[str, Callable[[Dict[str, object]], Dict[str, object]]] = {
+    "recommend": _normalize_recommend,
+    "compare": _normalize_compare,
+    "validate": _normalize_validate,
+}
+
+
+def normalize_request(kind: str, body: object) -> Dict[str, object]:
+    """Validate a raw request body and return its canonical form.
+
+    Raises :class:`ServiceError` (status 400) for anything malformed —
+    unknown ids included, so submission is the only place a typo can fail.
+    """
+    if kind not in JOB_KINDS:
+        raise ServiceError(404, f"unknown job kind {kind!r}", "NotFound")
+    return _NORMALIZERS[kind](_require_mapping(body))
+
+
+def job_id_for(kind: str, normalized: Dict[str, object]) -> str:
+    """The job's dedup key: a content hash of the canonical request.
+
+    ``workers`` (compare only) is excluded — it is pure parallelism and
+    cannot change the result, so a 1-worker and a 4-worker submission of the
+    same spec share one job.
+    """
+    hashed = dict(normalized)
+    run = hashed.get("run")
+    if isinstance(run, dict):
+        run = {key: value for key, value in run.items() if key != "workers"}
+        hashed["run"] = run
+    spec = hashed.get("spec")
+    if isinstance(spec, dict):
+        # The spec *name* is display-only ("tiny" vs an explicit submission
+        # of the same axes must dedup onto one job).
+        hashed["spec"] = {key: value for key, value in spec.items() if key != "name"}
+    digest = hashlib.sha256(
+        canonical_json({"kind": kind, "request": hashed}).encode("utf-8")
+    ).hexdigest()
+    return f"{kind}-{digest[:16]}"
+
+
+# -- jobs and the registry -----------------------------------------------------
+
+
+@dataclass
+class Job:
+    """One submitted request and everything known about its execution."""
+
+    id: str
+    kind: str
+    request: Dict[str, object]
+    state: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: How many times this job has been submitted (dedup hits included).
+    submissions: int = 1
+    result: Optional[Dict[str, object]] = None
+    #: ``{"type": ..., "message": ...}`` for failed jobs.
+    error: Optional[Dict[str, str]] = None
+
+    @property
+    def finished(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.state in ("done", "failed")
+
+    @property
+    def wall_seconds(self) -> Optional[float]:
+        """Execution wall time (``None`` until the job finishes running)."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def to_dict(self, include_result: bool = True) -> Dict[str, object]:
+        """The job's JSON form; ``include_result=False`` for listings."""
+        record: Dict[str, object] = {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "request": self.request,
+            "submissions": self.submissions,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "wall_seconds": self.wall_seconds,
+            "error": self.error,
+        }
+        if include_result:
+            record["result"] = self.result
+        return record
+
+
+class JobRegistry:
+    """In-memory job store plus the worker threads that execute jobs.
+
+    ``runner`` maps a :class:`Job` to its result dict (see
+    :func:`execute_job`); it runs on a registry worker thread.  The registry
+    is the single synchronisation point: every state transition happens under
+    its lock and wakes :meth:`wait_for` pollers.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[Job], Dict[str, object]],
+        workers: int = 2,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("a job registry needs at least one worker thread")
+        self._runner = runner
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._queue: "queue_module.Queue[Optional[str]]" = queue_module.Queue()
+        self._shutting_down = False
+        self.worker_count = workers
+        self._threads = [
+            threading.Thread(
+                target=self._work, name=f"service-job-worker-{index}", daemon=True
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, kind: str, body: object) -> Tuple[Job, bool]:
+        """Normalise, dedup and enqueue one request.
+
+        Returns ``(job, deduped)``: ``deduped`` is True when an identical
+        submission was already known (the caller polls the shared job).  A
+        previously *failed* job is reset and retried instead of being served
+        stale.  Raises :class:`ServiceError` for invalid bodies (400) and
+        after shutdown began (503).
+        """
+        normalized = normalize_request(kind, body)
+        job_id = job_id_for(kind, normalized)
+        with self._changed:
+            if self._shutting_down:
+                raise ServiceError(
+                    503, "service is shutting down", "ServiceUnavailable"
+                )
+            existing = self._jobs.get(job_id)
+            if existing is not None:
+                existing.submissions += 1
+                if existing.state == "failed":
+                    # A failed job is retryable: reset and requeue.
+                    existing.state = "queued"
+                    existing.error = None
+                    existing.result = None
+                    existing.started_at = None
+                    existing.finished_at = None
+                    _JOBS_RETRIED.value += 1
+                    obs_trace.event("service.job", job=job_id, state="requeued")
+                    self._queue.put(job_id)
+                    self._changed.notify_all()
+                    return existing, False
+                _JOBS_DEDUPED.value += 1
+                obs_trace.event("service.job", job=job_id, state="deduped")
+                return existing, True
+            job = Job(id=job_id, kind=kind, request=normalized)
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+            _JOBS_SUBMITTED.value += 1
+            obs_trace.event("service.job", job=job_id, state="queued")
+            self._queue.put(job_id)
+            self._changed.notify_all()
+            return job, False
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """The job registered under ``job_id``, or ``None``."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self, offset: int = 0, limit: int = 50) -> Tuple[List[Job], int]:
+        """A page of jobs in submission order plus the total count."""
+        offset = max(0, offset)
+        limit = max(1, limit)
+        with self._lock:
+            ids = self._order[offset : offset + limit]
+            return [self._jobs[job_id] for job_id in ids], len(self._order)
+
+    def counts(self) -> Dict[str, int]:
+        """Number of jobs per lifecycle state (all states always present)."""
+        summary = {state: 0 for state in JOB_STATES}
+        with self._lock:
+            for job in self._jobs.values():
+                summary[job.state] += 1
+        return summary
+
+    def wait_for(self, job_id: str, timeout: float = 60.0) -> Job:
+        """Block until ``job_id`` reaches a terminal state (tests, CLIs)."""
+        deadline = time.monotonic() + timeout
+        with self._changed:
+            while True:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    raise KeyError(f"unknown job {job_id!r}")
+                if job.finished:
+                    return job
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"job {job_id} still {job.state} after {timeout:g}s"
+                    )
+                self._changed.wait(remaining)
+
+    # -- execution -------------------------------------------------------------
+
+    def _work(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            with self._changed:
+                job = self._jobs.get(job_id)
+                if job is None or job.state != "queued":
+                    continue
+                job.state = "running"
+                job.started_at = time.time()
+                _JOBS_STARTED.value += 1
+                self._changed.notify_all()
+            obs_trace.event("service.job", job=job_id, state="running")
+            try:
+                result = self._runner(job)
+            except Exception as error:  # the job, not the worker, fails
+                with self._changed:
+                    job.state = "failed"
+                    job.error = {
+                        "type": type(error).__name__,
+                        "message": str(error),
+                    }
+                    job.finished_at = time.time()
+                    _JOBS_FAILED.value += 1
+                    _JOB_SECONDS.observe(job.finished_at - job.started_at)
+                    self._changed.notify_all()
+                obs_trace.event(
+                    "service.job", job=job_id, state="failed",
+                    error=type(error).__name__,
+                )
+            else:
+                with self._changed:
+                    job.state = "done"
+                    job.result = result
+                    job.finished_at = time.time()
+                    _JOBS_COMPLETED.value += 1
+                    _JOB_SECONDS.observe(job.finished_at - job.started_at)
+                    self._changed.notify_all()
+                obs_trace.event("service.job", job=job_id, state="done")
+
+    # -- shutdown --------------------------------------------------------------
+
+    def shutdown(self, wait: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop accepting submissions and drain the queue.
+
+        The sentinels join the queue *behind* every already-queued job, so a
+        graceful shutdown finishes queued and in-flight work before the
+        worker threads exit.  ``wait=False`` just flips the accepting flag
+        and enqueues the sentinels.
+        """
+        with self._changed:
+            if self._shutting_down:
+                wait_needed = wait
+            else:
+                self._shutting_down = True
+                for _ in self._threads:
+                    self._queue.put(None)
+                wait_needed = wait
+            self._changed.notify_all()
+        if wait_needed:
+            for thread in self._threads:
+                thread.join(timeout)
+
+
+# -- per-kind executors --------------------------------------------------------
+
+
+def _execute_recommend(request: Dict[str, object]) -> Dict[str, object]:
+    from repro.core.advisor import LayoutAdvisor
+    from repro.grid.spec import resolve_cost_model, resolve_workload
+
+    workload = resolve_workload(request["workload"])
+    advisor = LayoutAdvisor(
+        cost_model=resolve_cost_model(request["cost_model"]),
+        algorithms=request["algorithms"],
+        algorithm_options=request["algorithm_options"],
+    )
+    report = advisor.recommend(workload)
+    layouts = {
+        recommendation.algorithm: [
+            list(group) for group in recommendation.partitioning.as_names()
+        ]
+        for recommendation in report.recommendations
+    }
+    rows = report.to_rows()
+    for row in rows:
+        row["layout"] = layouts[row["algorithm"]]
+    best = report.best
+    return _jsonable(
+        {
+            "workload": request["workload"],
+            "cost_model": report.cost_model_description,
+            "row_cost": report.row_cost,
+            "column_cost": report.column_cost,
+            "best": {
+                "algorithm": best.algorithm,
+                "estimated_cost": best.estimated_cost,
+                "layout": layouts[best.algorithm],
+            },
+            "recommendations": rows,
+        }
+    )
+
+
+def _execute_compare(
+    job: Job,
+    cache_dir: Optional[str],
+    trace_dir: Optional[str],
+) -> Dict[str, object]:
+    from repro.grid.aggregate import headline_tables
+    from repro.grid.runner import run_grid
+
+    spec = _compare_spec(job.request)
+    run = job.request["run"]
+    trace_path = None
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+        trace_path = os.path.join(trace_dir, f"{job.id}.jsonl")
+    lock = _TRACE_LOCK if trace_path is not None else None
+    if lock is not None:
+        lock.acquire()
+    try:
+        report = run_grid(
+            spec,
+            cache_dir=cache_dir,
+            workers=run["workers"],
+            refresh=run["refresh"],
+            retries=run["retries"],
+            cell_timeout=run["cell_timeout"],
+            fail_fast=run["fail_fast"],
+            trace=trace_path,
+        )
+    finally:
+        if lock is not None:
+            lock.release()
+    cells = []
+    for result in report.results:
+        row: Dict[str, object] = {
+            "label": result.cell.label,
+            "key": result.key,
+            "backend": result.cell.backend,
+            "cached": result.cached,
+            "attempts": result.attempts,
+            "ok": result.ok,
+        }
+        if result.ok:
+            row["estimated_cost"] = result.estimated_cost
+            row["layout"] = [list(group) for group in result.layout]
+        if result.failure is not None:
+            row["failure"] = {
+                "error_type": result.failure.error_type,
+                "message": result.failure.message,
+                "attempts": result.failure.attempts,
+            }
+        cells.append(row)
+    return _jsonable(
+        {
+            "spec": dict(job.request["spec"]),
+            "accounting": report.accounting(),
+            "cache": {
+                "hits": report.cache_hits,
+                "computed": report.computed,
+                "failed": report.failed,
+                "hit_rate": report.hit_rate,
+                "store_failures": report.cache_store_failures,
+                "load_failures": report.cache_load_failures,
+            },
+            "cells": cells,
+            "tables": headline_tables(report.results),
+            "telemetry": report.telemetry.to_dict()
+            if report.telemetry is not None
+            else None,
+            "trace_path": trace_path,
+        }
+    )
+
+
+def _execute_validate(request: Dict[str, object]) -> Dict[str, object]:
+    from repro.core.advisor import LayoutAdvisor
+    from repro.grid.spec import resolve_cost_model, resolve_workload
+
+    workload = resolve_workload(request["workload"])
+    advisor = LayoutAdvisor(cost_model=resolve_cost_model(request["cost_model"]))
+    report = advisor.validate_costs(
+        workload,
+        rows=request["rows"],
+        data_seed=request["data_seed"],
+        include_baselines=request["include_baselines"],
+        algorithms=request["algorithms"],
+        backend=request["backend"],
+        page_size=request["page_size"],
+    )
+    result: Dict[str, object] = {
+        "workload": request["workload"],
+        "backend": request["backend"],
+        "rank_correlation": report.rank_correlation,
+        "rows": report.to_rows(),
+        "tables": report.describe(),
+    }
+    if request["backend"] == "measured":
+        result["mean_absolute_relative_error"] = report.mean_absolute_relative_error
+        result["max_absolute_relative_error"] = report.max_absolute_relative_error
+    return _jsonable(result)
+
+
+def execute_job(
+    job: Job,
+    cache_dir: Optional[str] = None,
+    trace_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """Execute one job on the calling thread and return its result dict.
+
+    The dispatch target a :class:`JobRegistry` runner closes over; also
+    usable directly (no HTTP, no registry) for tests and scripting.
+    """
+    with obs_trace.span("service.job", job=job.id, kind=job.kind):
+        if job.kind == "recommend":
+            return _execute_recommend(job.request)
+        if job.kind == "compare":
+            return _execute_compare(job, cache_dir, trace_dir)
+        if job.kind == "validate":
+            return _execute_validate(job.request)
+        raise ServiceError(404, f"unknown job kind {job.kind!r}", "NotFound")

@@ -1,0 +1,258 @@
+"""End-to-end tests of the advisor HTTP service (repro.service).
+
+The centrepiece is the PR's acceptance scenario: two concurrent HTTP clients
+submit an identical tiny grid spec; exactly one computation runs (the obs
+counters prove it), both receive identical results via job polling, and a
+third submission after a server restart is a pure result-cache hit.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.service import create_service
+
+#: A one-cell grid: cheap enough for CI, real enough to exercise the whole
+#: submit -> schedule -> run_grid -> cache -> poll pipeline.
+TINY_COMPARE = {
+    "algorithms": ["hillclimb"],
+    "workloads": ["telemetry:small"],
+    "cost_models": ["hdd"],
+}
+
+
+def _post(base: str, path: str, body: dict):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def _get(base: str, path: str):
+    with urllib.request.urlopen(base + path, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def _poll_until_done(base: str, job_id: str, timeout: float = 120.0):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, document = _get(base, f"/v1/jobs/{job_id}")
+        if document["state"] in ("done", "failed"):
+            return document
+        time.sleep(0.05)
+    raise TimeoutError(f"job {job_id} did not finish within {timeout:g}s")
+
+
+@pytest.fixture
+def service(tmp_path):
+    instance = create_service(
+        port=0, cache_dir=str(tmp_path / "cache"), workers=2
+    )
+    instance.serve_in_thread()
+    yield instance
+    instance.stop()
+
+
+class TestAcceptance:
+    def test_concurrent_identical_submissions_one_computation_then_cached_restart(
+        self, tmp_path
+    ):
+        cache_dir = str(tmp_path / "cache")
+        service = create_service(port=0, cache_dir=cache_dir, workers=2)
+        service.serve_in_thread()
+        base = service.url
+        baseline = obs_metrics.registry().snapshot()
+        responses = []
+
+        def submit() -> None:
+            responses.append(_post(base, "/v1/compare", TINY_COMPARE))
+
+        clients = [threading.Thread(target=submit) for _ in range(2)]
+        for client in clients:
+            client.start()
+        for client in clients:
+            client.join()
+
+        assert [status for status, _ in responses] == [202, 202]
+        ids = {document["job"]["id"] for _, document in responses}
+        assert len(ids) == 1, "identical specs must share one job"
+        job_id = ids.pop()
+        # Exactly one submission created the job; the other deduped onto it.
+        assert sorted(document["deduped"] for _, document in responses) == [
+            False,
+            True,
+        ]
+
+        polled = [_poll_until_done(base, job_id) for _ in range(2)]
+        assert all(document["state"] == "done" for document in polled)
+        results = [document["result"] for document in polled]
+        assert results[0] == results[1]
+        assert results[0]["cells"][0]["ok"] is True
+        assert results[0]["cache"]["computed"] == 1
+        service.stop()
+
+        # The obs counters prove exactly one computation ran for two clients.
+        delta = obs_metrics.registry().delta(baseline)["counters"]
+        assert delta.get("grid.cells.computed") == 1
+        assert delta.get("service.jobs.submitted") == 1
+        assert delta.get("service.jobs.deduped") == 1
+        assert delta.get("service.jobs.completed") == 1
+        assert delta.get("service.http.requests", 0) >= 4
+
+        # Restart: a fresh service over the same cache dir serves the same
+        # spec as a pure cache hit — nothing recomputes.
+        baseline = obs_metrics.registry().snapshot()
+        revived = create_service(port=0, cache_dir=cache_dir, workers=2)
+        revived.serve_in_thread()
+        try:
+            _, document = _post(revived.url, "/v1/compare", TINY_COMPARE)
+            # New registry, so the job itself is fresh (not deduped) ...
+            assert document["deduped"] is False
+            final = _poll_until_done(revived.url, document["job"]["id"])
+            result = final["result"]
+            # ... but every cell comes straight from the persistent cache.
+            assert result["cache"]["hits"] == 1
+            assert result["cache"]["computed"] == 0
+            assert result["cells"][0]["cached"] is True
+            assert result["cells"][0]["estimated_cost"] == pytest.approx(
+                results[0]["cells"][0]["estimated_cost"]
+            )
+        finally:
+            revived.stop()
+        delta = obs_metrics.registry().delta(baseline)["counters"]
+        assert delta.get("grid.cells.computed") is None
+        assert delta.get("grid.cache.hits") == 1
+
+
+class TestEndpoints:
+    def test_health_reports_jobs_and_configuration(self, service):
+        status, document = _get(service.url, "/health")
+        assert status == 200
+        assert document["status"] == "ok"
+        assert set(document["jobs"]) == {"queued", "running", "done", "failed"}
+        assert document["job_workers"] == 2
+
+    def test_recommend_job_end_to_end(self, service):
+        _, document = _post(
+            service.url,
+            "/v1/recommend",
+            {"workload": "telemetry:small", "algorithms": ["hillclimb", "navathe"]},
+        )
+        final = _poll_until_done(service.url, document["job"]["id"])
+        assert final["state"] == "done"
+        result = final["result"]
+        assert result["best"]["algorithm"] in ("hillclimb", "navathe")
+        assert result["best"]["layout"], "layout groups must be present"
+        assert len(result["recommendations"]) == 2
+        assert result["row_cost"] > 0
+
+    def test_job_listing_paginates(self, service):
+        first, _ = _post(service.url, "/v1/compare", TINY_COMPARE)
+        _, listing = _get(service.url, "/v1/jobs?offset=0&limit=10")
+        assert listing["total"] == 1
+        assert listing["jobs"][0]["kind"] == "compare"
+        assert "result" not in listing["jobs"][0]
+
+    def test_error_envelopes(self, service):
+        base = service.url
+        # Unknown job id.
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(base, "/v1/jobs/compare-doesnotexist")
+        assert excinfo.value.code == 404
+        envelope = json.loads(excinfo.value.read())
+        assert envelope["error"]["type"] == "NotFound"
+        # Unknown path.
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(base, "/v2/nope")
+        assert excinfo.value.code == 404
+        # Unknown job kind.
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base, "/v1/optimize", {})
+        assert excinfo.value.code == 404
+        # Malformed JSON body.
+        request = urllib.request.Request(
+            base + "/v1/compare",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+        envelope = json.loads(excinfo.value.read())
+        assert envelope["error"]["status"] == 400
+        # Invalid spec.
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base, "/v1/compare", {"grid": "tiny", "algorithms": ["nope"]})
+        assert excinfo.value.code == 400
+        assert "unknown algorithm" in json.loads(excinfo.value.read())["error"][
+            "message"
+        ]
+
+    def test_submissions_rejected_while_shutting_down(self, tmp_path):
+        service = create_service(port=0, cache_dir=str(tmp_path), workers=1)
+        service.serve_in_thread()
+        base = service.url
+        service.registry.shutdown(wait=True)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base, "/v1/compare", TINY_COMPARE)
+        assert excinfo.value.code == 503
+        envelope = json.loads(excinfo.value.read())
+        assert envelope["error"]["type"] == "ServiceUnavailable"
+        service.stop()
+
+
+class TestTracing:
+    def test_compare_job_writes_a_parseable_trace(self, tmp_path):
+        from repro.obs.trace import read_trace
+
+        trace_dir = tmp_path / "traces"
+        service = create_service(
+            port=0,
+            cache_dir=str(tmp_path / "cache"),
+            workers=2,
+            trace_dir=str(trace_dir),
+        )
+        service.serve_in_thread()
+        try:
+            _, document = _post(service.url, "/v1/compare", TINY_COMPARE)
+            final = _poll_until_done(service.url, document["job"]["id"])
+            assert final["state"] == "done"
+            trace_path = final["result"]["trace_path"]
+            assert trace_path == str(trace_dir / f"{document['job']['id']}.jsonl")
+            _, records = read_trace(trace_path)
+            names = {record.get("name") for record in records}
+            assert "grid.execute" in names
+        finally:
+            service.stop()
+
+
+class TestGracefulShutdown:
+    def test_stop_drains_in_flight_jobs(self, tmp_path):
+        service = create_service(
+            port=0, cache_dir=str(tmp_path / "cache"), workers=1
+        )
+        service.serve_in_thread()
+        # Two distinct jobs on one worker: the second queues behind the first.
+        _, first = _post(service.url, "/v1/compare", TINY_COMPARE)
+        _, second = _post(
+            service.url,
+            "/v1/compare",
+            {**TINY_COMPARE, "cost_models": ["mainmemory"]},
+        )
+        assert first["job"]["id"] != second["job"]["id"]
+        service.stop(drain=True)
+        # Both jobs finished before the workers exited.
+        for document in (first, second):
+            job = service.registry.get(document["job"]["id"])
+            assert job is not None and job.state == "done"

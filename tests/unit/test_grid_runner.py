@@ -278,6 +278,50 @@ class TestAdvisorCompare:
         with pytest.raises(ValueError):
             LayoutAdvisor().compare()
 
+    def test_compare_forwards_trace_and_returns_telemetry(self, tmp_path):
+        """Regression: compare() used to drop the observability knobs on the
+        floor — a trace path never reached run_grid, so tracing a comparison
+        required bypassing the advisor API entirely."""
+        from repro.obs.trace import read_trace
+
+        trace_path = str(tmp_path / "compare.jsonl")
+        advisor = LayoutAdvisor(algorithms=("hillclimb",))
+        report = advisor.compare(
+            workloads=("custom:alpha",),
+            cost_models=("hdd",),
+            cache_dir=str(tmp_path / "cache"),
+            trace=trace_path,
+        )
+        header, records = read_trace(trace_path)
+        names = {record.get("name") for record in records}
+        assert "grid.execute" in names
+        assert any(
+            record.get("name") == "grid.cell" for record in records
+        ), names
+        # The telemetry summary rides along on the report, untouched.
+        assert report.telemetry is not None
+        assert report.telemetry.trace_path == trace_path
+        assert report.telemetry.cells_computed == 1
+
+    def test_compare_quiet_flag_controls_progress(self, tmp_path, capsys):
+        advisor = LayoutAdvisor(algorithms=("hillclimb",))
+        advisor.compare(
+            workloads=("custom:alpha",), cost_models=("hdd",),
+            cache_dir=str(tmp_path),
+        )
+        assert capsys.readouterr().out == ""  # quiet is the default
+        advisor.compare(
+            workloads=("custom:alpha",), cost_models=("hdd",),
+            cache_dir=str(tmp_path), quiet=False,
+        )
+        assert "cached   hillclimb/custom:alpha/hdd" in capsys.readouterr().out
+        lines = []
+        advisor.compare(
+            workloads=("custom:alpha",), cost_models=("hdd",),
+            cache_dir=str(tmp_path), progress=lines.append,
+        )
+        assert lines == ["cached   hillclimb/custom:alpha/hdd"]
+
 
 class TestCli:
     def test_cli_runs_and_reports_cache_hits(self, tmp_path, capsys):

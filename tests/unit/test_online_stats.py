@@ -91,6 +91,63 @@ class TestSlidingWindowStats:
         with pytest.raises(ValueError):
             SlidingWindowStats(schema, 0)
 
+    def test_long_mixed_weight_stream_leaves_no_residue(self, schema):
+        """Regression: partial eviction of a footprint with mixed weights
+        left ±1e-16 float residue in the running sums — sometimes *negative*
+        mass — that as_workload()/affinity() then reported.  After a long
+        mixed-weight stream the incremental window must equal a batch
+        recomputation to tight tolerance, with nothing negative anywhere."""
+        names = schema.attribute_names
+        window = 7
+        stats = SlidingWindowStats(schema, window)
+        # Awkward, cancellation-prone weights over a handful of recurring
+        # footprints, long enough to evict each footprint hundreds of times.
+        footprints = [names[:2], [names[2]], names[1:4], [names[0]], names[:4]]
+        weights = [0.1, 0.3, 1e-9, 7.7, 0.2, 1 / 3, 1e3, 0.7]
+        arrived = []
+        for step in range(2000):
+            query = Query(
+                f"q{step}",
+                footprints[step % len(footprints)],
+                weight=weights[step % len(weights)],
+            ).resolve(schema)
+            stats.observe(query)
+            arrived.append(query)
+        batch = Workload(schema, arrived[-window:], name="batch")
+        assert stats.total_weight() == pytest.approx(
+            batch.total_weight, rel=1e-9
+        )
+        assert np.allclose(
+            stats.affinity(), batch.affinity_matrix(), rtol=1e-9, atol=0.0
+        )
+        # No negative residue anywhere, however tiny.
+        assert (stats.affinity() >= 0.0).all()
+        assert stats.total_weight() >= 0.0
+        assert stats.weighted_needed_bytes() >= 0.0
+        for weight in stats.footprint_weights().values():
+            assert weight >= 0.0
+        # The materialised window only carries positive-weight footprints.
+        for query in stats.as_workload():
+            assert query.weight > 0.0
+
+    def test_evicting_to_empty_window_zeroes_everything_exactly(self, schema):
+        """Cancellation-prone weights must still leave a bit-exact zero
+        summary once their footprints cycle fully out of the window."""
+        names = schema.attribute_names
+        stats = SlidingWindowStats(schema, 3)
+        # This exact weight sequence used to leave -1.1e-16 *negative* mass
+        # in affinity[0, 0] after the footprint cycled out of the window.
+        for step, weight in enumerate([0.1, 0.2, 0.3, 0.7, 1 / 3, 1 / 7]):
+            stats.observe(Query(f"q{step}", names[:3], weight=weight).resolve(schema))
+        # Push three disjoint-footprint queries through: the earlier
+        # footprint leaves the window completely.
+        for step in range(3):
+            stats.observe(Query(f"z{step}", [names[7]], weight=1.0).resolve(schema))
+        affinity = stats.affinity()
+        assert affinity[0, 0] == 0.0 and affinity[1, 2] == 0.0
+        assert affinity[7, 7] == pytest.approx(3.0)
+        assert stats.total_weight() == pytest.approx(3.0)
+
 
 class TestDecayedStats:
     def test_decay_discounts_old_queries(self, schema):

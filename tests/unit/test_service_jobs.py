@@ -1,0 +1,332 @@
+"""Unit tests for the service job layer: normalisation, dedup, scheduling."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.service.jobs import (
+    JOB_KINDS,
+    JOB_STATES,
+    Job,
+    JobRegistry,
+    ServiceError,
+    job_id_for,
+    normalize_request,
+)
+
+
+class TestNormalizeRequest:
+    def test_compare_from_builtin_grid_resolves_axes(self):
+        normalized = normalize_request("compare", {"grid": "tiny"})
+        spec = normalized["spec"]
+        assert spec["algorithms"] == ["hillclimb", "navathe"]
+        assert spec["workloads"] == ["tpch:partsupp@0.1", "telemetry:small"]
+        assert spec["cost_models"] == ["hdd"]
+        assert normalized["run"]["workers"] == 1
+        assert normalized["run"]["refresh"] is False
+
+    def test_compare_grid_overrides_apply(self):
+        normalized = normalize_request(
+            "compare",
+            {"grid": "tiny", "algorithms": ["hillclimb"], "workers": 4},
+        )
+        assert normalized["spec"]["algorithms"] == ["hillclimb"]
+        assert normalized["run"]["workers"] == 4
+
+    def test_compare_explicit_axes(self):
+        normalized = normalize_request(
+            "compare",
+            {
+                "algorithms": ["hillclimb"],
+                "workloads": ["telemetry:small"],
+                "cost_models": ["hdd", "mainmemory"],
+                "retries": 2,
+                "cell_timeout": 30,
+            },
+        )
+        assert normalized["spec"]["cost_models"] == ["hdd", "mainmemory"]
+        assert normalized["run"]["retries"] == 2
+        assert normalized["run"]["cell_timeout"] == 30.0
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            [],  # not an object
+            {},  # neither grid nor axes
+            {"workloads": ["telemetry:small"]},  # incomplete axes
+            {"grid": "no-such-grid"},
+            {"grid": "tiny", "algorithms": ["nope"]},
+            {"grid": "tiny", "workloads": ["nope:x"]},
+            {"grid": "tiny", "cost_models": ["nope"]},
+            {"grid": "tiny", "algorithms": "hillclimb"},  # not a list
+            {"grid": "tiny", "workers": 0},
+            {"grid": "tiny", "retries": -1},
+            {"grid": "tiny", "cell_timeout": 0},
+            {"grid": "tiny", "cell_timeout": "fast"},
+            {"grid": "tiny", "measurement": [1, 2]},
+            {"grid": "tiny", "backend": "warp-drive"},
+        ],
+    )
+    def test_compare_rejects_bad_bodies_with_400(self, body):
+        with pytest.raises(ServiceError) as excinfo:
+            normalize_request("compare", body)
+        assert excinfo.value.status == 400
+
+    def test_recommend_defaults_and_validation(self):
+        normalized = normalize_request(
+            "recommend", {"workload": "telemetry:small"}
+        )
+        assert normalized["cost_model"] == "hdd"
+        assert "hillclimb" in normalized["algorithms"]
+        with pytest.raises(ServiceError):
+            normalize_request("recommend", {"workload": "nope:x"})
+        with pytest.raises(ServiceError):
+            normalize_request(
+                "recommend", {"workload": "telemetry:small", "algorithms": ["nope"]}
+            )
+
+    def test_validate_backend_rules(self):
+        normalized = normalize_request(
+            "validate", {"workload": "telemetry:small", "rows": 2000}
+        )
+        assert normalized["backend"] == "measured"
+        assert normalized["rows"] == 2000
+        # The main-memory model has no measured counterpart: reject at
+        # submission, not as a failed job later.
+        with pytest.raises(ServiceError) as excinfo:
+            normalize_request(
+                "validate",
+                {"workload": "telemetry:small", "cost_model": "mainmemory"},
+            )
+        assert excinfo.value.status == 400
+        # ... but it validates fine on the sqlite backend (ranking only).
+        normalized = normalize_request(
+            "validate",
+            {
+                "workload": "telemetry:small",
+                "cost_model": "mainmemory",
+                "backend": "sqlite",
+            },
+        )
+        assert normalized["backend"] == "sqlite"
+        with pytest.raises(ServiceError):
+            normalize_request(
+                "validate",
+                {"workload": "telemetry:small", "page_size": 4096},
+            )  # page_size is sqlite-only
+
+    def test_unknown_kind_is_404(self):
+        with pytest.raises(ServiceError) as excinfo:
+            normalize_request("optimize", {})
+        assert excinfo.value.status == 404
+
+    def test_error_envelope_shape(self):
+        error = ServiceError(400, "boom")
+        assert error.to_envelope() == {
+            "error": {"status": 400, "type": "BadRequest", "message": "boom"}
+        }
+
+
+class TestJobIdentity:
+    def test_equivalent_submissions_share_one_id(self):
+        via_grid = normalize_request(
+            "compare",
+            {"grid": "tiny", "algorithms": ["hillclimb"],
+             "workloads": ["telemetry:small"], "cost_models": ["hdd"]},
+        )
+        explicit = normalize_request(
+            "compare",
+            {"algorithms": ["hillclimb"], "workloads": ["telemetry:small"],
+             "cost_models": ["hdd"]},
+        )
+        assert job_id_for("compare", via_grid) == job_id_for("compare", explicit)
+
+    def test_workers_do_not_change_identity(self):
+        one = normalize_request("compare", {"grid": "tiny", "workers": 1})
+        four = normalize_request("compare", {"grid": "tiny", "workers": 4})
+        assert job_id_for("compare", one) == job_id_for("compare", four)
+
+    def test_refresh_and_axes_do_change_identity(self):
+        base = normalize_request("compare", {"grid": "tiny"})
+        for variation in (
+            {"grid": "tiny", "refresh": True},
+            {"grid": "tiny", "algorithms": ["hillclimb"]},
+            {"grid": "small"},
+        ):
+            other = normalize_request("compare", variation)
+            assert job_id_for("compare", other) != job_id_for("compare", base)
+
+    def test_kind_prefixes_the_id(self):
+        normalized = normalize_request("recommend", {"workload": "telemetry:small"})
+        assert job_id_for("recommend", normalized).startswith("recommend-")
+
+
+class TestJobRegistry:
+    def _registry(self, runner, workers=2):
+        return JobRegistry(runner=runner, workers=workers)
+
+    def test_submit_runs_and_completes(self):
+        registry = self._registry(lambda job: {"ok": True, "kind": job.kind})
+        try:
+            job, deduped = registry.submit("compare", {"grid": "tiny"})
+            assert not deduped
+            finished = registry.wait_for(job.id, timeout=10)
+            assert finished.state == "done"
+            assert finished.result == {"ok": True, "kind": "compare"}
+            assert finished.wall_seconds is not None
+        finally:
+            registry.shutdown()
+
+    def test_duplicate_submission_dedups_onto_one_job(self):
+        calls = []
+
+        def runner(job):
+            calls.append(job.id)
+            return {"n": len(calls)}
+
+        registry = self._registry(runner)
+        try:
+            before = obs_metrics.registry().snapshot()
+            first, deduped_first = registry.submit("compare", {"grid": "tiny"})
+            registry.wait_for(first.id, timeout=10)
+            second, deduped_second = registry.submit(
+                "compare", {"grid": "tiny", "workers": 8}
+            )
+            assert second is first
+            assert not deduped_first and deduped_second
+            assert first.submissions == 2
+            assert calls == [first.id]  # one computation, two submissions
+            delta = obs_metrics.registry().delta(before)
+            assert delta["counters"].get("service.jobs.submitted") == 1
+            assert delta["counters"].get("service.jobs.deduped") == 1
+        finally:
+            registry.shutdown()
+
+    def test_failed_job_is_reset_and_retried_on_resubmission(self):
+        attempts = []
+
+        def runner(job):
+            attempts.append(job.id)
+            if len(attempts) == 1:
+                raise RuntimeError("transient blowup")
+            return {"attempt": len(attempts)}
+
+        registry = self._registry(runner)
+        try:
+            job, _ = registry.submit("compare", {"grid": "tiny"})
+            failed = registry.wait_for(job.id, timeout=10)
+            assert failed.state == "failed"
+            assert failed.error == {
+                "type": "RuntimeError",
+                "message": "transient blowup",
+            }
+            retried, deduped = registry.submit("compare", {"grid": "tiny"})
+            assert retried is job and not deduped
+            done = registry.wait_for(job.id, timeout=10)
+            assert done.state == "done"
+            assert done.result == {"attempt": 2}
+            assert done.error is None
+            assert done.submissions == 2
+        finally:
+            registry.shutdown()
+
+    def test_concurrent_identical_submissions_yield_one_computation(self):
+        release = threading.Event()
+        calls = []
+
+        def runner(job):
+            calls.append(job.id)
+            release.wait(10)
+            return {"done": True}
+
+        registry = self._registry(runner)
+        try:
+            outcomes = []
+
+            def submit():
+                outcomes.append(registry.submit("compare", {"grid": "tiny"}))
+
+            threads = [threading.Thread(target=submit) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            release.set()
+            ids = {job.id for job, _ in outcomes}
+            assert len(ids) == 1
+            # Exactly one submission was the first; the rest deduped.
+            assert sum(1 for _, deduped in outcomes if not deduped) == 1
+            registry.wait_for(ids.pop(), timeout=10)
+            assert calls and len(calls) == 1
+        finally:
+            registry.shutdown()
+
+    def test_listing_and_counts(self):
+        registry = self._registry(lambda job: {})
+        try:
+            first, _ = registry.submit("compare", {"grid": "tiny"})
+            second, _ = registry.submit("recommend", {"workload": "telemetry:small"})
+            registry.wait_for(first.id, timeout=10)
+            registry.wait_for(second.id, timeout=10)
+            page, total = registry.jobs(offset=0, limit=1)
+            assert total == 2 and [job.id for job in page] == [first.id]
+            page, _ = registry.jobs(offset=1, limit=10)
+            assert [job.id for job in page] == [second.id]
+            counts = registry.counts()
+            assert counts["done"] == 2
+            assert set(counts) == set(JOB_STATES)
+        finally:
+            registry.shutdown()
+
+    def test_shutdown_drains_queued_jobs_then_rejects(self):
+        started = threading.Event()
+
+        def runner(job):
+            started.set()
+            time.sleep(0.05)
+            return {"drained": True}
+
+        registry = self._registry(runner, workers=1)
+        jobs = [
+            registry.submit("compare", {"grid": "tiny", "retries": n})[0]
+            for n in range(4)
+        ]
+        started.wait(5)
+        registry.shutdown(wait=True)
+        # Every queued job finished before the workers exited.
+        assert all(job.state == "done" for job in jobs)
+        with pytest.raises(ServiceError) as excinfo:
+            registry.submit("compare", {"grid": "tiny"})
+        assert excinfo.value.status == 503
+
+    def test_wait_for_unknown_and_timeout(self):
+        block = threading.Event()
+        registry = self._registry(lambda job: block.wait(10) and {} or {})
+        try:
+            with pytest.raises(KeyError):
+                registry.wait_for("compare-i-do-not-exist", timeout=0.1)
+            job, _ = registry.submit("compare", {"grid": "tiny"})
+            with pytest.raises(TimeoutError):
+                registry.wait_for(job.id, timeout=0.1)
+            block.set()
+            assert registry.wait_for(job.id, timeout=10).state == "done"
+        finally:
+            registry.shutdown()
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            JobRegistry(runner=lambda job: {}, workers=0)
+
+    def test_job_to_dict_shape(self):
+        job = Job(id="compare-abc", kind="compare", request={"spec": {}})
+        record = job.to_dict()
+        assert record["id"] == "compare-abc"
+        assert record["state"] == "queued"
+        assert record["result"] is None
+        listing = job.to_dict(include_result=False)
+        assert "result" not in listing
+
+    def test_job_kinds_are_the_public_api(self):
+        assert JOB_KINDS == ("recommend", "compare", "validate")
