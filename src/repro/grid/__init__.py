@@ -43,6 +43,7 @@ semantics, retry/timeout knobs and the fault-injection reference, and
 from repro.grid.spec import (
     BACKENDS,
     BUILTIN_GRIDS,
+    GridCancelled,
     GridCell,
     GridError,
     GridExecutionError,
@@ -73,6 +74,7 @@ from repro.grid.aggregate import (
 __all__ = [
     "BACKENDS",
     "BUILTIN_GRIDS",
+    "GridCancelled",
     "GridCell",
     "GridError",
     "GridExecutionError",

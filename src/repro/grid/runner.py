@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import threading
 import time
 import warnings
 from collections import deque
@@ -60,6 +61,7 @@ from repro.grid import worker as grid_worker
 from repro.grid.aggregate import headline_tables
 from repro.grid.cache import ResultCache, cell_inputs, content_key
 from repro.grid.spec import (
+    GridCancelled,
     GridCell,
     GridError,
     GridExecutionError,
@@ -477,17 +479,34 @@ class _GridExecutor:
         )
 
 
-def _execute_serial(executor: _GridExecutor, pending: List[GridCell]) -> None:
+def _check_cancelled(
+    cancel_event: Optional[threading.Event], completed: int, pending: int
+) -> None:
+    """Raise :class:`GridCancelled` when the run's cancel event is set."""
+    if cancel_event is not None and cancel_event.is_set():
+        obs_trace.event("grid.cancelled", completed=completed, pending=pending)
+        raise GridCancelled(completed=completed, pending=pending)
+
+
+def _execute_serial(
+    executor: _GridExecutor,
+    pending: List[GridCell],
+    cancel_event: Optional[threading.Event] = None,
+) -> None:
     """Run pending cells in-process, with retries and quarantine.
 
     Wall-clock timeouts are not enforced here: the cell runs on the caller's
     own thread and cannot be preempted (``run_grid`` warns when a timeout is
     requested serially).  ``die`` faults degrade to raising for the same
-    reason (see :func:`repro.grid.faults.trigger`).
+    reason (see :func:`repro.grid.faults.trigger`).  Cancellation is
+    cooperative and checked between attempts — a set ``cancel_event`` stops
+    the run at the next attempt boundary, never mid-cell.
     """
-    for cell in pending:
+    total = len(pending)
+    for index, cell in enumerate(pending):
         attempt = 0
         while True:
+            _check_cancelled(cancel_event, completed=index, pending=total - index)
             attempt += 1
             try:
                 with obs_trace.span("grid.cell", cell=cell.label, attempt=attempt):
@@ -515,6 +534,7 @@ def _execute_parallel(
     workers: int,
     cell_timeout: Optional[float],
     mp_start_method: Optional[str],
+    cancel_event: Optional[threading.Event] = None,
 ) -> None:
     """Run pending cells across supervised persistent worker processes.
 
@@ -556,6 +576,11 @@ def _execute_parallel(
 
     try:
         while remaining > 0 and executor.abort is None:
+            _check_cancelled(
+                cancel_event,
+                completed=len(pending) - remaining,
+                pending=remaining,
+            )
             now = time.monotonic()
             if waiting:
                 due = [item for item in waiting if item[0] <= now]
@@ -690,6 +715,7 @@ def run_grid(
     fail_fast: bool = False,
     faults: Optional[Union[grid_faults.FaultPlan, Mapping[str, object]]] = None,
     trace: Optional[str] = None,
+    cancel_event: Optional[threading.Event] = None,
 ) -> GridReport:
     """Execute a comparison grid, serving unchanged cells from the cache.
 
@@ -735,6 +761,15 @@ def run_grid(
         attempt, retry, crash and timeout is recorded, and the run's metrics
         delta is appended as the final record.  ``None`` (the default) keeps
         tracing off — instrumented call sites stay no-op-cheap.
+    cancel_event:
+        Optional :class:`threading.Event` enabling cooperative cancellation
+        from another thread: once set, the run stops at the next supervisor
+        iteration (parallel — in-flight workers are killed) or attempt
+        boundary (serial) and raises :class:`~repro.grid.spec.GridCancelled`.
+        Cells already completed were persisted to the cache, so a cancelled
+        run resumes exactly like an interrupted one.  This is what the
+        advisor service's job cancellation and per-job timeouts thread into
+        the supervisor loop (``docs/SERVICE.md``).
 
     Failed cells appear in the returned report as :class:`CellResult` rows
     with a :class:`CellFailure` (``report.failures``); failures are never
@@ -848,7 +883,7 @@ def run_grid(
                         grid_worker._cost_models.update(cost_models)
                         previous = enable_cache_sharing(True)
                         try:
-                            _execute_serial(executor, pending)
+                            _execute_serial(executor, pending, cancel_event)
                         finally:
                             enable_cache_sharing(previous)
                             if not previous:
@@ -863,7 +898,7 @@ def run_grid(
                     else:
                         _execute_parallel(
                             executor, pending, workers, cell_timeout,
-                            mp_start_method,
+                            mp_start_method, cancel_event,
                         )
         phases["grid.execute"] = timer.wall
 

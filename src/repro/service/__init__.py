@@ -13,8 +13,16 @@ long-running grid runs become *async jobs* polled by id.  See
   per-kind executors that call into the existing library code
   (:func:`repro.grid.runner.run_grid` is the scheduling core; nothing is
   reimplemented).
+* :mod:`repro.service.journal` — the :class:`JobJournal`, an append-only
+  JSONL write-ahead log of job transitions; replayed at startup so a crashed
+  or killed service restarts with its jobs (terminal ones with results,
+  interrupted ones re-enqueued).
+* :mod:`repro.service.faults` — deterministic service-level fault injection
+  (``REPRO_SERVICE_FAULTS``): journal I/O failures, worker-thread death,
+  slow jobs — the harness behind the chaos suite.
 * :mod:`repro.service.app` — the HTTP layer: routes, JSON error envelopes,
-  pagination, health, graceful shutdown.
+  pagination, liveness/readiness health, backpressure (429 + Retry-After),
+  job cancellation, graceful shutdown.
 * ``python -m repro.service`` — the CLI (:mod:`repro.service.__main__`).
 
 Two layers of result reuse stack up:
@@ -38,25 +46,42 @@ from repro.service.app import (
     create_service,
 )
 from repro.service.jobs import (
+    DEFAULT_BREAKER_THRESHOLD,
     JOB_KINDS,
     JOB_STATES,
     Job,
+    JobCancelled,
     JobRegistry,
     ServiceError,
     execute_job,
     job_id_for,
     normalize_request,
 )
+from repro.service.journal import JobJournal, JournalReplay
+from repro.service.faults import (
+    ServiceFault,
+    ServiceFaultPlan,
+    ServiceFaultPlanError,
+    WorkerThreadDeath,
+)
 
 __all__ = [
+    "DEFAULT_BREAKER_THRESHOLD",
     "DEFAULT_PORT",
     "JOB_KINDS",
     "JOB_STATES",
     "Job",
+    "JobCancelled",
+    "JobJournal",
     "JobRegistry",
+    "JournalReplay",
     "LayoutAdvisorService",
     "ServiceConfig",
     "ServiceError",
+    "ServiceFault",
+    "ServiceFaultPlan",
+    "ServiceFaultPlanError",
+    "WorkerThreadDeath",
     "create_service",
     "execute_job",
     "job_id_for",

@@ -66,6 +66,42 @@ def build_parser() -> argparse.ArgumentParser:
         "(readable by python -m repro.obs summary)",
     )
     parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the job queue at N queued jobs; excess submissions get "
+        "429 + Retry-After (default: unbounded)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="force-fail any job running longer than this wall time "
+        "(default: no timeout)",
+    )
+    parser.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="disable the durable job journal (jobs are lost on restart, "
+        "as before PR 10)",
+    )
+    parser.add_argument(
+        "--journal-path",
+        default=None,
+        metavar="PATH",
+        help="job journal file (default: <cache-dir>/service-journal.jsonl)",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="quarantine a job after N consecutive failures until it is "
+        'resubmitted with {"force": true} (default: %(default)s)',
+    )
+    parser.add_argument(
         "--log-requests",
         action="store_true",
         help="echo one access-log line per HTTP request to stderr",
@@ -77,9 +113,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.workers < 1:
-        build_parser().error("--workers must be >= 1")
+        parser.error("--workers must be >= 1")
+    if args.max_queue_depth is not None and args.max_queue_depth < 1:
+        parser.error("--max-queue-depth must be >= 1")
+    if args.job_timeout is not None and args.job_timeout <= 0:
+        parser.error("--job-timeout must be > 0")
+    if args.breaker_threshold < 1:
+        parser.error("--breaker-threshold must be >= 1")
     service = create_service(
         host=args.host,
         port=args.port,
@@ -87,16 +130,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         workers=args.workers,
         trace_dir=args.trace_dir,
         log_requests=args.log_requests,
+        max_queue_depth=args.max_queue_depth,
+        job_timeout=args.job_timeout,
+        journal=not args.no_journal,
+        journal_path=args.journal_path,
+        breaker_threshold=args.breaker_threshold,
     )
     if not args.quiet:
         cache = service.config.cache_dir or "(disabled)"
+        journal = service.journal.path if service.journal else "(disabled)"
         print(f"advisor service listening on {service.url}")
         print(f"  result cache : {cache}")
+        print(f"  job journal  : {journal}")
+        if service.registry.recovered:
+            print(f"  recovered    : {service.registry.recovered} "
+                  f"interrupted job(s) re-enqueued")
         print(f"  job workers  : {service.config.workers}")
+        if service.config.max_queue_depth is not None:
+            print(f"  queue depth  : {service.config.max_queue_depth}")
+        if service.config.job_timeout is not None:
+            print(f"  job timeout  : {service.config.job_timeout:g}s")
         if service.config.trace_dir:
             print(f"  traces       : {service.config.trace_dir}/<job>.jsonl")
         print("  endpoints    : POST /v1/recommend /v1/compare /v1/validate; "
-              "GET /health /v1/jobs[/<id>]")
+              "GET /health[/live|/ready] /v1/jobs[/<id>]; DELETE /v1/jobs/<id>")
 
     interrupted = threading.Event()
 

@@ -7,20 +7,26 @@ registry's worker threads, so a slow grid never blocks the accept loop.
 
 Routes (``docs/SERVICE.md`` is the full reference):
 
-====================  ========================================================
+======================  ======================================================
 ``POST /v1/recommend``  submit an advisor recommendation job
 ``POST /v1/compare``    submit a comparison-grid job (async by design)
 ``POST /v1/validate``   submit a cost-validation job
-``GET /health``         liveness + job-state counts + uptime
+``GET /health``         liveness + job-state counts + uptime + durability
+``GET /health/live``    bare liveness probe (200 while the process serves)
+``GET /health/ready``   readiness probe (503 while draining or saturated)
 ``GET /v1/jobs``        paginated job listing (``offset`` / ``limit``)
 ``GET /v1/jobs/<id>``   one job, result included when finished
-====================  ========================================================
+``DELETE /v1/jobs/<id>``  cancel a job (queued: immediately; running:
+                          cooperatively)
+======================  ======================================================
 
 Submissions answer ``202 Accepted`` with the job document and a ``poll``
 path; a deduped resubmission of a finished job carries the result
 immediately.  Every error — malformed JSON, invalid spec, unknown path or
-method, oversized body — is a JSON envelope ``{"error": {"status", "type",
-"message"}}`` with the matching status code.
+method, oversized body, a full queue — is a JSON envelope ``{"error":
+{"status", "type", "message"}}`` with the matching status code; 429
+responses additionally carry a ``Retry-After`` header (and ``retry_after``
+envelope field) derived from the observed job-duration histogram.
 
 Construction switches :func:`~repro.cost.evaluator.enable_cache_sharing` on
 so concurrent jobs share one memoized evaluator pool per schema (exactly
@@ -41,7 +47,14 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.cost.evaluator import clear_shared_caches, enable_cache_sharing
 from repro.obs import metrics as obs_metrics
-from repro.service.jobs import JOB_KINDS, JobRegistry, ServiceError, execute_job
+from repro.service.jobs import (
+    DEFAULT_BREAKER_THRESHOLD,
+    JOB_KINDS,
+    JobRegistry,
+    ServiceError,
+    execute_job,
+)
+from repro.service.journal import DEFAULT_FILENAME, JobJournal
 
 #: Default TCP port of ``python -m repro.service``.
 DEFAULT_PORT = 8137
@@ -73,6 +86,29 @@ class ServiceConfig:
     #: Echo one access-log line per request to stderr (off by default; the
     #: test suite and CI smoke drive the server hard).
     log_requests: bool = False
+    #: Maximum queued (not yet running) jobs before submissions shed with
+    #: 429 + ``Retry-After``; ``None``: unbounded (the PR-9 behaviour).
+    max_queue_depth: Optional[int] = None
+    #: Per-job wall-clock timeout (seconds); overrunning jobs are force-
+    #: failed by the registry watchdog.  ``None``: no timeout.
+    job_timeout: Optional[float] = None
+    #: Whether to keep the durable job journal (requires ``cache_dir`` or an
+    #: explicit ``journal_path`` for somewhere to put it).
+    journal: bool = True
+    #: Journal file path; defaults to ``<cache_dir>/service-journal.jsonl``.
+    journal_path: Optional[str] = None
+    #: Consecutive failures before a job is quarantined (circuit breaker).
+    breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD
+
+    def resolved_journal_path(self) -> Optional[str]:
+        """Where the journal lives, or ``None`` when journalling is off."""
+        if not self.journal:
+            return None
+        if self.journal_path is not None:
+            return self.journal_path
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, DEFAULT_FILENAME)
 
 
 class LayoutAdvisorService(ThreadingHTTPServer):
@@ -91,13 +127,22 @@ class LayoutAdvisorService(ThreadingHTTPServer):
         # the service-lifetime equivalent of what each grid worker process
         # does for its own lifetime.
         self._previous_sharing = enable_cache_sharing(True)
+        journal_path = config.resolved_journal_path()
+        self.journal = (
+            JobJournal(journal_path) if journal_path is not None else None
+        )
         self.registry = JobRegistry(
             runner=lambda job: execute_job(
                 job, cache_dir=config.cache_dir, trace_dir=config.trace_dir
             ),
             workers=config.workers,
+            max_queue_depth=config.max_queue_depth,
+            job_timeout=config.job_timeout,
+            journal=self.journal,
+            breaker_threshold=config.breaker_threshold,
         )
         self._serve_thread: Optional[threading.Thread] = None
+        self._draining = False
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -123,8 +168,10 @@ class LayoutAdvisorService(ThreadingHTTPServer):
 
         ``drain=True`` (the default) blocks until queued and in-flight jobs
         finish — no accepted work is lost.  ``drain=False`` stops the
-        workers at the next queue sentinel without waiting.
+        workers at the next queue sentinel without waiting.  ``/health/ready``
+        answers 503 from the moment draining begins.
         """
+        self._draining = True
         self.registry.shutdown(wait=drain, timeout=timeout)
         if self._serve_thread is not None:
             self.shutdown()
@@ -141,7 +188,15 @@ class LayoutAdvisorService(ThreadingHTTPServer):
     # -- health ----------------------------------------------------------------
 
     def health(self) -> Dict[str, object]:
-        """The ``GET /health`` document."""
+        """The ``GET /health`` document (liveness plus configuration)."""
+        journal_doc: Optional[Dict[str, object]] = None
+        if self.journal is not None:
+            journal_doc = {
+                "path": self.journal.path,
+                "appends": self.journal.appends,
+                "append_failures": self.journal.append_failures,
+                "compactions": self.journal.compactions,
+            }
         return {
             "status": "ok",
             "uptime_seconds": time.time() - self.started_at,
@@ -149,6 +204,34 @@ class LayoutAdvisorService(ThreadingHTTPServer):
             "job_workers": self.registry.worker_count,
             "cache_dir": self.config.cache_dir,
             "trace_dir": self.config.trace_dir,
+            "queue": {
+                "depth": self.registry.queue_depth(),
+                "max_depth": self.registry.max_queue_depth,
+            },
+            "job_timeout": self.config.job_timeout,
+            "recovered_jobs": self.registry.recovered,
+            "journal": journal_doc,
+        }
+
+    def readiness(self) -> Tuple[bool, Dict[str, object]]:
+        """The ``GET /health/ready`` verdict and document.
+
+        Unready (503) while draining (shutdown began) or while the job queue
+        is saturated — load balancers stop routing new submissions here, but
+        the process stays *live* (``/health/live`` keeps answering 200) so
+        pollers can still collect results.
+        """
+        draining = self._draining
+        saturated = self.registry.saturated
+        ready = not draining and not saturated
+        return ready, {
+            "status": "ready" if ready else "unready",
+            "draining": draining,
+            "saturated": saturated,
+            "queue": {
+                "depth": self.registry.queue_depth(),
+                "max_depth": self.registry.max_queue_depth,
+            },
         }
 
 
@@ -166,17 +249,27 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if self.server.config.log_requests:
             BaseHTTPRequestHandler.log_message(self, format, *args)
 
-    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error_envelope(self, error: ServiceError) -> None:
         _HTTP_ERRORS.value += 1
-        self._send_json(error.status, error.to_envelope())
+        headers = None
+        if error.retry_after is not None:
+            headers = {"Retry-After": str(error.retry_after)}
+        self._send_json(error.status, error.to_envelope(), headers=headers)
 
     def _read_json_body(self) -> object:
         try:
@@ -220,6 +313,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
             path, query = self._query()
             if path == "/health":
                 self._send_json(200, self.server.health())
+            elif path == "/health/live":
+                self._send_json(200, {"status": "live"})
+            elif path == "/health/ready":
+                ready, document = self.server.readiness()
+                self._send_json(200 if ready else 503, document)
             elif path == "/v1/jobs":
                 offset = self._int_query(query, "offset", 0)
                 limit = min(self._int_query(query, "limit", 50), 500)
@@ -275,6 +373,28 @@ class ServiceHandler(BaseHTTPRequestHandler):
         finally:
             _HTTP_SECONDS.observe(time.perf_counter() - started)
 
+    def do_DELETE(self) -> None:  # noqa: N802 (http.server naming)
+        started = time.perf_counter()
+        _HTTP_REQUESTS.value += 1
+        try:
+            path, _ = self._query()
+            if not path.startswith("/v1/jobs/"):
+                raise ServiceError(404, f"no such path {path!r}", "NotFound")
+            job_id = path[len("/v1/jobs/") :]
+            job, accepted = self.server.registry.cancel(job_id)
+            self._send_json(
+                202 if accepted else 200,
+                {
+                    "job": job.to_dict(include_result=False),
+                    "cancelled": accepted,
+                    "poll": f"/v1/jobs/{job.id}",
+                },
+            )
+        except ServiceError as error:
+            self._send_error_envelope(error)
+        finally:
+            _HTTP_SECONDS.observe(time.perf_counter() - started)
+
 
 def create_service(
     host: str = "127.0.0.1",
@@ -283,6 +403,11 @@ def create_service(
     workers: int = 2,
     trace_dir: Optional[str] = None,
     log_requests: bool = False,
+    max_queue_depth: Optional[int] = None,
+    job_timeout: Optional[float] = None,
+    journal: bool = True,
+    journal_path: Optional[str] = None,
+    breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
 ) -> LayoutAdvisorService:
     """Build a service bound to ``host:port`` (``port=0``: ephemeral port).
 
@@ -298,5 +423,10 @@ def create_service(
             workers=workers,
             trace_dir=trace_dir,
             log_requests=log_requests,
+            max_queue_depth=max_queue_depth,
+            job_timeout=job_timeout,
+            journal=journal,
+            journal_path=journal_path,
+            breaker_threshold=breaker_threshold,
         )
     )

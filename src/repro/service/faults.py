@@ -1,0 +1,308 @@
+"""Deterministic fault injection for the advisor service's robustness layer.
+
+The grid has :mod:`repro.grid.faults` — per-cell raise/transient/hang/die
+plans that make every failure path of the runner reproducibly testable.  This
+module is the same idea one level up, at the *service* seams: the job
+journal's disk writes, the registry's worker threads, and job execution
+latency.  The chaos suite (``tests/integration/test_service_chaos.py``) and
+the blocking ``service-chaos`` CI job drive the service through journal
+I/O failures, worker-thread deaths and slow jobs — then kill and restart the
+process — asserting that no accepted job is ever silently lost.
+
+Plans travel through the :data:`ENV_VAR` environment variable as canonical
+JSON, mirroring ``REPRO_GRID_FAULTS``: a plan set before ``python -m
+repro.service`` boots is active for the process lifetime, and tests can use
+the :func:`injected` context manager in-process.
+
+A plan maps *sites* to faults.  Sites are fixed instrumentation points:
+
+``journal.append``
+    Fires inside :meth:`repro.service.journal.JobJournal.append`, before the
+    write.  ``oserror`` faults exercise journal degradation: the append is
+    counted as failed, the service keeps running, and the journal resumes on
+    the next successful write.
+``job.start``
+    Fires on the registry worker thread immediately before a job executes.
+    ``slow`` faults make the job take ``seconds`` longer (deterministic
+    latency for timeout/backpressure tests); ``die`` faults raise
+    :class:`WorkerThreadDeath` — a ``BaseException`` — exercising the
+    registry's finalise-in-``finally`` guarantee and worker respawn.
+
+Fault kinds (``kind``):
+
+=============  ==============================================================
+``oserror``    raise :class:`OSError` at the site (journal degradation)
+``slow``       sleep ``seconds`` at the site (slow jobs, timeout tests)
+``die``        raise :class:`WorkerThreadDeath` (worker-thread death)
+=============  ==============================================================
+
+Every fault fires on the first ``times`` occurrences of its site (counted
+process-locally from zero, so runs are deterministic); ``times: null`` (the
+default) fires on every occurrence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+#: Environment variable carrying the installed plan as canonical JSON.
+ENV_VAR = "REPRO_SERVICE_FAULTS"
+
+#: Valid instrumentation sites.
+SITES = ("journal.append", "job.start")
+
+#: Valid fault kinds.
+KINDS = ("oserror", "slow", "die")
+
+
+class ServiceFaultPlanError(ValueError):
+    """Raised when a service fault plan (mapping or JSON) does not validate."""
+
+
+class WorkerThreadDeath(BaseException):
+    """The ``die`` fault: a non-``Exception`` escaping on a worker thread.
+
+    Deliberately a :class:`BaseException` subclass — the registry's
+    finalisation must survive exactly this shape (a ``KeyboardInterrupt``
+    delivered to a worker thread is the real-world equivalent), recording the
+    job as failed before the thread unwinds.
+    """
+
+
+@dataclass(frozen=True)
+class ServiceFault:
+    """One injected fault: what goes wrong at a site and how often.
+
+    ``times`` bounds how many occurrences of the site fire the fault
+    (``None``: every occurrence).  ``seconds`` is read by ``slow`` faults;
+    ``message`` joins the raised error text so tests can assert on it.
+    """
+
+    kind: str
+    seconds: float = 0.0
+    times: Optional[int] = None
+    message: str = "injected service fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ServiceFaultPlanError(
+                f"unknown service fault kind {self.kind!r}; valid: {list(KINDS)}"
+            )
+        if self.kind == "slow" and self.seconds <= 0:
+            raise ServiceFaultPlanError("slow faults need seconds > 0")
+        if self.times is not None and self.times < 1:
+            raise ServiceFaultPlanError("times must be >= 1 (or null for always)")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "seconds": self.seconds,
+            "times": self.times,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, object]) -> "ServiceFault":
+        """Build a fault from a plain mapping, validating every field."""
+        if not isinstance(raw, Mapping):
+            raise ServiceFaultPlanError(f"a fault must be a mapping, got {raw!r}")
+        unknown = set(raw) - {"kind", "seconds", "times", "message"}
+        if unknown:
+            raise ServiceFaultPlanError(f"unknown fault fields {sorted(unknown)}")
+        if "kind" not in raw:
+            raise ServiceFaultPlanError(f"fault {dict(raw)!r} names no kind")
+        times = raw.get("times")
+        try:
+            return cls(
+                kind=str(raw["kind"]),
+                seconds=float(raw.get("seconds", 0.0)),
+                times=None if times is None else int(times),
+                message=str(raw.get("message", "injected service fault")),
+            )
+        except (TypeError, ValueError) as error:
+            if isinstance(error, ServiceFaultPlanError):
+                raise
+            raise ServiceFaultPlanError(
+                f"invalid fault {dict(raw)!r}: {error}"
+            ) from None
+
+
+class ServiceFaultPlan:
+    """An immutable mapping from site to the fault injected there."""
+
+    def __init__(self, faults: Mapping[str, ServiceFault]) -> None:
+        for site, fault in faults.items():
+            if site not in SITES:
+                raise ServiceFaultPlanError(
+                    f"unknown fault site {site!r}; valid: {list(SITES)}"
+                )
+            if not isinstance(fault, ServiceFault):
+                raise ServiceFaultPlanError(
+                    f"plan entry {site!r} is not a ServiceFault: {fault!r}"
+                )
+        self._faults: Dict[str, ServiceFault] = dict(faults)
+
+    @classmethod
+    def from_mapping(
+        cls, raw: Mapping[str, Mapping[str, object]]
+    ) -> "ServiceFaultPlan":
+        """Build a plan from ``{site: {"kind": ..., ...}}`` plain dicts."""
+        if not isinstance(raw, Mapping):
+            raise ServiceFaultPlanError(
+                f"a fault plan must be a mapping, got {raw!r}"
+            )
+        return cls(
+            {
+                str(site): fault
+                if isinstance(fault, ServiceFault)
+                else ServiceFault.from_dict(fault)
+                for site, fault in raw.items()
+            }
+        )
+
+    def get(self, site: str) -> Optional[ServiceFault]:
+        """The fault injected at ``site``, or ``None``."""
+        return self._faults.get(site)
+
+    def sites(self) -> Tuple[str, ...]:
+        """The sites the plan injects at, sorted."""
+        return tuple(sorted(self._faults))
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ServiceFaultPlan) and self._faults == other._faults
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON form (what :func:`install` puts in the environment)."""
+        return json.dumps(
+            {site: fault.to_dict() for site, fault in self._faults.items()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, raw: str) -> "ServiceFaultPlan":
+        """Parse a plan from its JSON form, validating it."""
+        try:
+            decoded = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ServiceFaultPlanError(
+                f"service fault plan is not valid JSON: {error}"
+            ) from None
+        return cls.from_mapping(decoded)
+
+
+def coerce_plan(
+    faults: "ServiceFaultPlan | Mapping[str, object] | None",
+) -> Optional[ServiceFaultPlan]:
+    """A :class:`ServiceFaultPlan` from a plan, a plain mapping, or ``None``."""
+    if faults is None or isinstance(faults, ServiceFaultPlan):
+        return faults
+    return ServiceFaultPlan.from_mapping(faults)
+
+
+# -- installation, occurrence accounting, triggering ---------------------------
+
+#: Parse cache: the last seen raw environment value and its parsed plan.
+_parsed: Tuple[Optional[str], Optional[ServiceFaultPlan]] = (None, None)
+
+#: Occurrences seen per site this process (deterministic ``times`` windows).
+_occurrences: Dict[str, int] = {}
+_occurrences_lock = threading.Lock()
+
+
+def install(plan: Optional[ServiceFaultPlan]) -> None:
+    """Install ``plan`` into the environment (``None`` uninstalls)."""
+    if plan is None or len(plan) == 0:
+        os.environ.pop(ENV_VAR, None)
+    else:
+        os.environ[ENV_VAR] = plan.to_json()
+
+
+def active_plan() -> Optional[ServiceFaultPlan]:
+    """The installed plan, parsed from the environment (or ``None``).
+
+    A malformed plan raises :class:`ServiceFaultPlanError` loudly — a chaos
+    harness that silently ignores a typo would pass vacuously.
+    """
+    global _parsed
+    raw = os.environ.get(ENV_VAR)
+    if raw is None or not raw.strip():
+        return None
+    cached_raw, cached_plan = _parsed
+    if raw == cached_raw:
+        return cached_plan
+    plan = ServiceFaultPlan.from_json(raw)
+    _parsed = (raw, plan)
+    return plan
+
+
+def reset_occurrences() -> None:
+    """Zero the per-site occurrence counters (test isolation)."""
+    with _occurrences_lock:
+        _occurrences.clear()
+
+
+@contextmanager
+def injected(
+    faults: "ServiceFaultPlan | Mapping[str, object] | None",
+) -> Iterator[Optional[ServiceFaultPlan]]:
+    """Install a plan for a ``with`` block, then restore the previous one.
+
+    Occurrence counters are reset on entry so each injection block starts a
+    fresh deterministic ``times`` window.
+    """
+    plan = coerce_plan(faults)
+    previous = os.environ.get(ENV_VAR)
+    install(plan)
+    reset_occurrences()
+    try:
+        yield plan
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = previous
+        reset_occurrences()
+
+
+def maybe_trigger(site: str) -> None:
+    """Fire the installed fault for ``site``, if any applies now.
+
+    Called at each instrumentation point.  Increments the site's occurrence
+    counter only when a fault is installed for the site, so ``times`` windows
+    count fault-eligible occurrences and are independent of unrelated
+    activity before the plan was installed.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    fault = plan.get(site)
+    if fault is None:
+        return
+    with _occurrences_lock:
+        occurrence = _occurrences.get(site, 0) + 1
+        _occurrences[site] = occurrence
+    if fault.times is not None and occurrence > fault.times:
+        return
+    if fault.kind == "oserror":
+        raise OSError(f"{fault.message} (injected at {site})")
+    if fault.kind == "slow":
+        time.sleep(fault.seconds)
+        return
+    if fault.kind == "die":
+        raise WorkerThreadDeath(f"{fault.message} (injected at {site})")
+    raise ServiceFaultPlanError(  # pragma: no cover - guarded by __post_init__
+        f"unknown fault kind {fault.kind!r}"
+    )

@@ -1,0 +1,118 @@
+"""Unit tests for service-level fault injection (REPRO_SERVICE_FAULTS)."""
+
+import os
+import time
+
+import pytest
+
+from repro.service import faults as service_faults
+from repro.service.faults import (
+    ENV_VAR,
+    ServiceFault,
+    ServiceFaultPlan,
+    ServiceFaultPlanError,
+    WorkerThreadDeath,
+)
+
+
+class TestPlanValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServiceFaultPlanError):
+            ServiceFault(kind="explode")
+
+    def test_slow_needs_positive_seconds(self):
+        with pytest.raises(ServiceFaultPlanError):
+            ServiceFault(kind="slow", seconds=0)
+
+    def test_times_must_be_positive_or_none(self):
+        with pytest.raises(ServiceFaultPlanError):
+            ServiceFault(kind="oserror", times=0)
+        assert ServiceFault(kind="oserror", times=None).times is None
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ServiceFaultPlanError):
+            ServiceFaultPlan({"journal.vanish": ServiceFault(kind="oserror")})
+
+    def test_unknown_fault_fields_rejected(self):
+        with pytest.raises(ServiceFaultPlanError):
+            ServiceFault.from_dict({"kind": "oserror", "explosions": 3})
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ServiceFaultPlanError):
+            ServiceFaultPlan.from_json("{not json")
+
+
+class TestEnvRoundTrip:
+    def test_json_round_trip_preserves_the_plan(self):
+        plan = ServiceFaultPlan.from_mapping(
+            {
+                "journal.append": {"kind": "oserror", "times": 2},
+                "job.start": {"kind": "slow", "seconds": 0.5},
+            }
+        )
+        assert ServiceFaultPlan.from_json(plan.to_json()) == plan
+        assert plan.sites() == ("job.start", "journal.append")
+
+    def test_injected_installs_and_restores(self):
+        previous = os.environ.get(ENV_VAR)
+        with service_faults.injected({"job.start": {"kind": "oserror"}}) as plan:
+            assert plan is not None
+            assert os.environ[ENV_VAR] == plan.to_json()
+            assert service_faults.active_plan() == plan
+        assert os.environ.get(ENV_VAR) == previous
+
+    def test_active_plan_raises_loudly_on_garbage(self):
+        with pytest.raises(ServiceFaultPlanError):
+            with service_faults.injected(None):
+                os.environ[ENV_VAR] = "{broken"
+                try:
+                    service_faults.active_plan()
+                finally:
+                    os.environ.pop(ENV_VAR, None)
+
+
+class TestTriggering:
+    def test_no_plan_is_a_noop(self):
+        with service_faults.injected(None):
+            service_faults.maybe_trigger("journal.append")  # must not raise
+
+    def test_oserror_fires_with_message(self):
+        plan = {"journal.append": {"kind": "oserror", "message": "disk gone"}}
+        with service_faults.injected(plan):
+            with pytest.raises(OSError, match="disk gone"):
+                service_faults.maybe_trigger("journal.append")
+
+    def test_die_raises_a_base_exception(self):
+        with service_faults.injected({"job.start": {"kind": "die"}}):
+            with pytest.raises(WorkerThreadDeath):
+                service_faults.maybe_trigger("job.start")
+        assert not issubclass(WorkerThreadDeath, Exception)
+
+    def test_slow_sleeps_roughly_the_configured_time(self):
+        plan = {"job.start": {"kind": "slow", "seconds": 0.05}}
+        with service_faults.injected(plan):
+            started = time.perf_counter()
+            service_faults.maybe_trigger("job.start")
+            assert time.perf_counter() - started >= 0.04
+
+    def test_times_bounds_the_window_deterministically(self):
+        plan = {"journal.append": {"kind": "oserror", "times": 2}}
+        with service_faults.injected(plan):
+            for _ in range(2):
+                with pytest.raises(OSError):
+                    service_faults.maybe_trigger("journal.append")
+            # Third and later occurrences pass clean.
+            service_faults.maybe_trigger("journal.append")
+            service_faults.maybe_trigger("journal.append")
+
+    def test_other_sites_are_untouched(self):
+        with service_faults.injected({"job.start": {"kind": "oserror"}}):
+            service_faults.maybe_trigger("journal.append")  # must not raise
+
+    def test_injected_resets_occurrences_between_blocks(self):
+        plan = {"journal.append": {"kind": "oserror", "times": 1}}
+        for _ in range(2):  # each block gets its own times window
+            with service_faults.injected(plan):
+                with pytest.raises(OSError):
+                    service_faults.maybe_trigger("journal.append")
+                service_faults.maybe_trigger("journal.append")

@@ -6,15 +6,18 @@ import time
 import pytest
 
 from repro.obs import metrics as obs_metrics
+from repro.service import faults as service_faults
 from repro.service.jobs import (
     JOB_KINDS,
     JOB_STATES,
     Job,
+    JobCancelled,
     JobRegistry,
     ServiceError,
     job_id_for,
     normalize_request,
 )
+from repro.service.journal import JobJournal
 
 
 class TestNormalizeRequest:
@@ -330,3 +333,420 @@ class TestJobRegistry:
 
     def test_job_kinds_are_the_public_api(self):
         assert JOB_KINDS == ("recommend", "compare", "validate")
+
+    @pytest.mark.parametrize(
+        ("offset", "limit"),
+        [(-1, 10), (0, 0), (0, -5), (True, 10), (0, True), ("3", 10), (0, "9")],
+    )
+    def test_paging_rejects_invalid_values_with_400(self, offset, limit):
+        registry = self._registry(lambda job: {})
+        try:
+            with pytest.raises(ServiceError) as excinfo:
+                registry.jobs(offset=offset, limit=limit)
+            assert excinfo.value.status == 400
+        finally:
+            registry.shutdown()
+
+
+class TestRegistryRobustness:
+    """Backpressure, timeouts, cancellation, the breaker, finalisation."""
+
+    def test_generation_guard_discards_stale_finalisation(self):
+        release = threading.Event()
+        registry = JobRegistry(
+            runner=lambda job: release.wait(10) and {"ok": True} or {"ok": True}
+        )
+        try:
+            before = obs_metrics.registry().snapshot()
+            job, _ = registry.submit("compare", {"grid": "tiny"})
+            while job.state != "running":
+                time.sleep(0.005)
+            # Simulate the race: a stale worker (older generation) finalising
+            # after the registry moved the job on.
+            registry._finalize(job, job.generation - 1, "done", {"stale": 1}, None)
+            assert job.state == "running"  # the stale outcome did not land
+            assert job.result is None
+            delta = obs_metrics.registry().delta(before)["counters"]
+            assert delta.get("service.jobs.discarded") == 1
+            release.set()
+            assert registry.wait_for(job.id, timeout=10).result == {"ok": True}
+        finally:
+            release.set()
+            registry.shutdown()
+
+    def test_requeue_race_newer_run_wins(self):
+        """A job requeued while an old run is still in flight: the old run's
+        outcome must be discarded, the requeued run's outcome kept."""
+        gate = threading.Event()
+        runs = []
+
+        def runner(job):
+            runs.append(len(runs))
+            if len(runs) == 1:
+                gate.wait(10)  # the first (stale-to-be) run hangs here
+                return {"run": 1}
+            return {"run": 2}
+
+        registry = JobRegistry(runner=runner, workers=2)
+        try:
+            job, _ = registry.submit("compare", {"grid": "tiny"})
+            while job.state != "running":
+                time.sleep(0.005)
+            # Take the job away exactly like the watchdog does, then requeue
+            # it via the public resubmission path.
+            with registry._changed:
+                job.generation += 1
+                job.state = "failed"
+                job.error = {"type": "JobTimeout", "message": "forced"}
+                job.finished_at = time.time()
+            retried, deduped = registry.submit("compare", {"grid": "tiny"})
+            assert retried is job and not deduped
+            done = registry.wait_for(job.id, timeout=10)
+            gate.set()  # release the stale run *after* the new one finished
+            time.sleep(0.05)  # give the stale finalisation a chance to race
+            assert done.state == "done"
+            assert done.result == {"run": 2}
+        finally:
+            gate.set()
+            registry.shutdown()
+
+    def test_worker_survives_base_exception_and_respawns(self):
+        registry = JobRegistry(runner=lambda job: {"ok": True}, workers=1)
+        try:
+            plan = {"job.start": {"kind": "die", "times": 1}}
+            with service_faults.injected(plan):
+                job, _ = registry.submit("compare", {"grid": "tiny"})
+                failed = registry.wait_for(job.id, timeout=10)
+                assert failed.state == "failed"
+                assert failed.error["type"] == "WorkerThreadDeath"
+                # The worker thread died, but the next submission respawns it
+                # and the new job completes.
+                second, _ = registry.submit("recommend",
+                                            {"workload": "telemetry:small"})
+                assert registry.wait_for(second.id, timeout=10).state == "done"
+        finally:
+            registry.shutdown()
+
+    def test_backpressure_sheds_with_retry_after(self):
+        release = threading.Event()
+        registry = JobRegistry(
+            runner=lambda job: release.wait(10) and {} or {},
+            workers=1,
+            max_queue_depth=1,
+        )
+        try:
+            first, _ = registry.submit("compare", {"grid": "tiny"})
+            while first.state != "running":
+                time.sleep(0.005)
+            registry.submit("compare", {"grid": "tiny", "retries": 1})  # queued
+            before = obs_metrics.registry().snapshot()
+            with pytest.raises(ServiceError) as excinfo:
+                registry.submit("compare", {"grid": "tiny", "retries": 2})
+            error = excinfo.value
+            assert error.status == 429
+            assert error.error_type == "TooManyRequests"
+            assert error.retry_after >= 1
+            assert error.to_envelope()["error"]["retry_after"] == error.retry_after
+            delta = obs_metrics.registry().delta(before)["counters"]
+            assert delta.get("service.shed") == 1
+            assert registry.saturated
+        finally:
+            release.set()
+            registry.shutdown()
+
+    def test_job_timeout_force_fails_and_discards_late_result(self):
+        def runner(job):
+            time.sleep(0.4)
+            return {"late": True}
+
+        registry = JobRegistry(runner=runner, workers=1, job_timeout=0.1)
+        try:
+            before = obs_metrics.registry().snapshot()
+            job, _ = registry.submit("compare", {"grid": "tiny"})
+            failed = registry.wait_for(job.id, timeout=10)
+            assert failed.state == "failed"
+            assert failed.error["type"] == "JobTimeout"
+            assert job.cancel_event.is_set()
+            # Wait out the runner: its late result must not overwrite.
+            time.sleep(0.5)
+            assert job.state == "failed"
+            assert job.result is None
+            delta = obs_metrics.registry().delta(before)["counters"]
+            assert delta.get("service.jobs.timeouts") == 1
+            assert delta.get("service.jobs.discarded") == 1
+        finally:
+            registry.shutdown()
+
+    def test_cancel_queued_job_immediately(self):
+        release = threading.Event()
+        ran = []
+
+        def runner(job):
+            ran.append(job.id)
+            release.wait(10)
+            return {}
+
+        registry = JobRegistry(runner=runner, workers=1)
+        try:
+            first, _ = registry.submit("compare", {"grid": "tiny"})
+            while first.state != "running":
+                time.sleep(0.005)
+            queued, _ = registry.submit("compare", {"grid": "tiny", "retries": 1})
+            cancelled_job, accepted = registry.cancel(queued.id)
+            assert accepted and cancelled_job.state == "cancelled"
+            release.set()
+            registry.wait_for(first.id, timeout=10)
+            registry.shutdown(wait=True)
+            assert queued.state == "cancelled"
+            assert ran == [first.id]  # the cancelled job never ran
+        finally:
+            release.set()
+            registry.shutdown()
+
+    def test_cancel_running_job_cooperatively(self):
+        def runner(job):
+            # A cooperative executor: waits, then honours the cancel event.
+            job.cancel_event.wait(10)
+            raise JobCancelled(job.id)
+
+        registry = JobRegistry(runner=runner, workers=1)
+        try:
+            job, _ = registry.submit("compare", {"grid": "tiny"})
+            while job.state != "running":
+                time.sleep(0.005)
+            _, accepted = registry.cancel(job.id)
+            assert accepted
+            assert job.cancel_requested
+            finished = registry.wait_for(job.id, timeout=10)
+            assert finished.state == "cancelled"
+            assert finished.result is None and finished.error is None
+        finally:
+            registry.shutdown()
+
+    def test_cancelled_job_result_is_never_served_even_if_run_completes(self):
+        def runner(job):
+            job.cancel_event.wait(10)
+            return {"secret": "must not escape"}  # ignores the cancel
+
+        registry = JobRegistry(runner=runner, workers=1)
+        try:
+            job, _ = registry.submit("compare", {"grid": "tiny"})
+            while job.state != "running":
+                time.sleep(0.005)
+            registry.cancel(job.id)
+            finished = registry.wait_for(job.id, timeout=10)
+            assert finished.state == "cancelled"
+            assert finished.result is None
+        finally:
+            registry.shutdown()
+
+    def test_cancelled_job_is_retryable_by_resubmission(self):
+        first_run = threading.Event()
+
+        def runner(job):
+            if not first_run.is_set():
+                first_run.set()
+                job.cancel_event.wait(10)
+                raise JobCancelled(job.id)
+            return {"second": True}
+
+        registry = JobRegistry(runner=runner, workers=1)
+        try:
+            job, _ = registry.submit("compare", {"grid": "tiny"})
+            first_run.wait(5)
+            registry.cancel(job.id)
+            assert registry.wait_for(job.id, timeout=10).state == "cancelled"
+            retried, deduped = registry.submit("compare", {"grid": "tiny"})
+            assert retried is job and not deduped
+            done = registry.wait_for(job.id, timeout=10)
+            assert done.state == "done" and done.result == {"second": True}
+        finally:
+            registry.shutdown()
+
+    def test_cancel_unknown_and_finished(self):
+        registry = JobRegistry(runner=lambda job: {"ok": True})
+        try:
+            with pytest.raises(ServiceError) as excinfo:
+                registry.cancel("compare-missing")
+            assert excinfo.value.status == 404
+            job, _ = registry.submit("compare", {"grid": "tiny"})
+            registry.wait_for(job.id, timeout=10)
+            same, accepted = registry.cancel(job.id)
+            assert same is job and not accepted
+            assert job.state == "done"  # a finished job is not disturbed
+        finally:
+            registry.shutdown()
+
+    def test_circuit_breaker_quarantines_until_forced(self):
+        calls = []
+
+        def runner(job):
+            calls.append(1)
+            if len(calls) <= 2:
+                raise RuntimeError(f"boom {len(calls)}")
+            return {"recovered": True}
+
+        registry = JobRegistry(runner=runner, workers=1, breaker_threshold=2)
+        try:
+            job, _ = registry.submit("compare", {"grid": "tiny"})
+            assert registry.wait_for(job.id, timeout=10).state == "failed"
+            registry.submit("compare", {"grid": "tiny"})
+            assert registry.wait_for(job.id, timeout=10).state == "failed"
+            assert job.consecutive_failures == 2
+            # Tripped: plain resubmission is rejected ...
+            with pytest.raises(ServiceError) as excinfo:
+                registry.submit("compare", {"grid": "tiny"})
+            assert excinfo.value.status == 409
+            assert excinfo.value.error_type == "Quarantined"
+            # ... but force punches through and resets the breaker.
+            forced, deduped = registry.submit(
+                "compare", {"grid": "tiny", "force": True}
+            )
+            assert forced is job and not deduped
+            done = registry.wait_for(job.id, timeout=10)
+            assert done.state == "done" and done.result == {"recovered": True}
+            assert job.consecutive_failures == 0
+        finally:
+            registry.shutdown()
+
+    def test_force_does_not_change_the_job_id(self):
+        normalized = normalize_request("compare", {"grid": "tiny"})
+        registry = JobRegistry(runner=lambda job: {})
+        try:
+            job, _ = registry.submit("compare", {"grid": "tiny", "force": True})
+            assert job.id == job_id_for("compare", normalized)
+        finally:
+            registry.shutdown()
+
+    def test_success_resets_consecutive_failures(self):
+        outcomes = iter([RuntimeError("x"), {"ok": 1}])
+
+        def runner(job):
+            outcome = next(outcomes)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        registry = JobRegistry(runner=runner, workers=1)
+        try:
+            job, _ = registry.submit("compare", {"grid": "tiny"})
+            registry.wait_for(job.id, timeout=10)
+            assert job.consecutive_failures == 1
+            registry.submit("compare", {"grid": "tiny"})
+            done = registry.wait_for(job.id, timeout=10)
+            assert done.state == "done"
+            assert job.consecutive_failures == 0
+        finally:
+            registry.shutdown()
+
+    def test_constructor_validation(self):
+        for kwargs in (
+            {"max_queue_depth": 0},
+            {"job_timeout": 0},
+            {"job_timeout": -1},
+            {"breaker_threshold": 0},
+        ):
+            with pytest.raises(ValueError):
+                JobRegistry(runner=lambda job: {}, **kwargs)
+
+
+class TestRegistryDurability:
+    """Journal integration: transitions recorded, restarts recovered."""
+
+    def _journal(self, tmp_path):
+        return JobJournal(str(tmp_path / "journal.jsonl"))
+
+    def test_restart_restores_terminal_jobs_with_results(self, tmp_path):
+        journal = self._journal(tmp_path)
+        registry = JobRegistry(runner=lambda job: {"answer": 42}, journal=journal)
+        job, _ = registry.submit("compare", {"grid": "tiny"})
+        registry.wait_for(job.id, timeout=10)
+        registry.shutdown()
+
+        revived = JobRegistry(
+            runner=lambda job: {"answer": 42},
+            journal=self._journal(tmp_path),
+        )
+        try:
+            restored = revived.get(job.id)
+            assert restored is not None
+            assert restored.state == "done"
+            assert restored.result == {"answer": 42}
+            # Resubmission dedups onto the restored job: no recomputation.
+            same, deduped = revived.submit("compare", {"grid": "tiny"})
+            assert same is restored and deduped
+        finally:
+            revived.shutdown()
+
+    def test_restart_reenqueues_interrupted_jobs(self, tmp_path):
+        # Simulate a crash: journal says submitted+running, no terminal event
+        # (the process never got to write one).
+        journal = self._journal(tmp_path)
+        journal.append(
+            "submitted", "compare-crashed", kind="compare",
+            request={"grid": "tiny"},
+        )
+        journal.append("running", "compare-crashed")
+        journal.close()
+
+        registry = JobRegistry(
+            runner=lambda job: {"rerun": True}, journal=self._journal(tmp_path)
+        )
+        try:
+            assert registry.recovered == 1
+            done = registry.wait_for("compare-crashed", timeout=10)
+            assert done.state == "done"
+            assert done.result == {"rerun": True}
+        finally:
+            registry.shutdown()
+
+    def test_restart_after_torn_tail_still_recovers(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.append(
+            "submitted", "compare-x", kind="compare", request={"grid": "tiny"}
+        )
+        journal.close()
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "runn')  # torn mid-crash
+
+        registry = JobRegistry(
+            runner=lambda job: {"ok": True}, journal=self._journal(tmp_path)
+        )
+        try:
+            assert registry.wait_for("compare-x", timeout=10).state == "done"
+        finally:
+            registry.shutdown()
+
+    def test_journal_failures_degrade_but_jobs_still_run(self, tmp_path):
+        journal = self._journal(tmp_path)
+        plan = {"journal.append": {"kind": "oserror"}}
+        with service_faults.injected(plan):
+            with pytest.warns(RuntimeWarning, match="journal degraded"):
+                registry = JobRegistry(
+                    runner=lambda job: {"ok": True}, journal=journal
+                )
+                try:
+                    job, _ = registry.submit("compare", {"grid": "tiny"})
+                    done = registry.wait_for(job.id, timeout=10)
+                    assert done.state == "done"
+                    assert journal.append_failures > 0
+                finally:
+                    registry.shutdown()
+
+    def test_recovery_compacts_the_journal(self, tmp_path):
+        journal = self._journal(tmp_path)
+        registry = JobRegistry(runner=lambda job: {"n": 1}, journal=journal)
+        job, _ = registry.submit("compare", {"grid": "tiny"})
+        registry.wait_for(job.id, timeout=10)
+        registry.shutdown()
+
+        revived = JobRegistry(
+            runner=lambda job: {"n": 1}, journal=self._journal(tmp_path)
+        )
+        revived.shutdown()
+        # After recovery the journal is one snapshot per job, not the full
+        # transition history.
+        with open(journal.path, encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 1
+        assert '"event":"snapshot"' in lines[0]
